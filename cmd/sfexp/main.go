@@ -1,0 +1,72 @@
+// Command sfexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sfexp -fig 13 -scale 0.5          # one figure
+//	sfexp -fig all -out results.txt   # the whole evaluation
+//	sfexp -fig 15 -bench mv,conv3d    # restricted benchmark set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"streamfloat"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sfexp: ")
+
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 2, 13-19, area, or all")
+		scale   = flag.Float64("scale", 0.25, "dataset scale (1.0 = calibrated full size)")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all 12)")
+		outPath = flag.String("out", "", "write results to a file instead of stdout")
+		par     = flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS)")
+		asCSV   = flag.Bool("csv", false, "emit CSV instead of an aligned table (single figure only)")
+		chart   = flag.String("chart", "", "also render an ASCII bar chart of metrics with this suffix (e.g. speedup)")
+	)
+	flag.Parse()
+
+	opts := streamfloat.ExperimentOptions{Scale: *scale, Parallelism: *par}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *fig == "all" {
+		if err := streamfloat.AllExperiments(opts, w); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	t, err := streamfloat.Experiment(*fig, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asCSV {
+		if err := t.WriteCSV(w); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		t.Fprint(w)
+	}
+	if *chart != "" {
+		t.Chart(w, *chart, 48)
+	}
+	fmt.Fprintln(w)
+}

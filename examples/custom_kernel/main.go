@@ -1,0 +1,117 @@
+// Custom kernel authoring: expresses a new workload — a banded sparse
+// matrix-vector product y = A*x with per-row column indices — in the stream
+// IR the simulator executes, registers it, and compares Base vs SF.
+//
+// This is what the paper's LLVM stream compiler emits for a loop nest: a
+// set of affine/indirect stream declarations plus per-iteration compute and
+// instruction counts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"streamfloat"
+	"streamfloat/internal/mem"
+	"streamfloat/internal/stream"
+	"streamfloat/internal/workload"
+)
+
+// spmvKernel is a banded SpMV: every row has exactly nnzPerRow entries
+// whose column indices live in a cols array (affine stream), chained to an
+// indirect gather from the dense vector x.
+type spmvKernel struct{}
+
+func (spmvKernel) Name() string { return "spmv-banded" }
+
+func (spmvKernel) Prepare(b *mem.Backing, nCores int, scale float64) []workload.Program {
+	rows := int64(float64(131072) * scale)
+	if rows < 1024 {
+		rows = 1024
+	}
+	const nnzPerRow = 8
+	nnz := rows * nnzPerRow
+
+	valBase := b.Alloc(uint64(nnz*4), 64) // matrix values
+	colBase := b.Alloc(uint64(nnz*4), 64) // column indices
+	xBase := b.Alloc(uint64(rows*4), 64)  // dense vector
+	yBase := b.Alloc(uint64(rows*4), 64)  // result
+
+	// Banded structure: row r touches columns near r (real index data the
+	// indirect stream will chase).
+	rng := rand.New(rand.NewSource(1))
+	for r := int64(0); r < rows; r++ {
+		for k := int64(0); k < nnzPerRow; k++ {
+			col := r + rng.Int63n(2048) - 1024
+			if col < 0 {
+				col = 0
+			}
+			if col >= rows {
+				col = rows - 1
+			}
+			b.WriteU32(colBase+uint64((r*nnzPerRow+k)*4), uint32(col))
+		}
+	}
+
+	progs := make([]workload.Program, nCores)
+	for c := 0; c < nCores; c++ {
+		lo := rows * int64(c) / int64(nCores)
+		hi := rows * int64(c+1) / int64(nCores)
+		myNNZ := (hi - lo) * nnzPerRow
+		vals := stream.Decl{ID: 0, Name: "vals", PC: 0x900, Affine: &stream.Affine{
+			Base: valBase + uint64(lo*nnzPerRow*4), ElemSize: 4,
+			Strides: [3]int64{4}, Lens: [3]int64{myNNZ},
+		}}
+		cols := stream.Decl{ID: 1, Name: "cols", PC: 0x901, Affine: &stream.Affine{
+			Base: colBase + uint64(lo*nnzPerRow*4), ElemSize: 4,
+			Strides: [3]int64{4}, Lens: [3]int64{myNNZ},
+		}}
+		x := stream.Decl{ID: 2, Name: "x[col]", PC: 0x902, BaseOn: 1,
+			Indirect: &stream.Indirect{Base: xBase, ElemSize: 4, Scale: 4, WBytes: 4}}
+		y := stream.Decl{ID: 3, Name: "y", PC: 0x903, Affine: &stream.Affine{
+			Base: yBase + uint64(lo*4), ElemSize: 4,
+			Strides: [3]int64{4, 0}, Lens: [3]int64{hi - lo, nnzPerRow},
+		}}
+		progs[c] = workload.Program{CoreID: c, Phases: []workload.Phase{{
+			Name:          "spmv",
+			Loads:         []stream.Decl{vals, cols, x},
+			Stores:        []stream.Decl{y},
+			NumIters:      myNNZ,
+			ComputeCycles: 3,
+			InstrsPerIter: 7,
+		}}}
+	}
+	return progs
+}
+
+func main() {
+	streamfloat.RegisterKernel("spmv-banded", func() streamfloat.Kernel { return spmvKernel{} })
+
+	run := func(system string) streamfloat.Results {
+		cfg, err := streamfloat.ConfigFor(system, streamfloat.OOO8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := streamfloat.Run(cfg, "spmv-banded", 0.25)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	base := run("Base")
+	sf := run("SF")
+	fmt.Println("custom kernel: banded SpMV, y = A*x with indirect x[col] gathers")
+	fmt.Printf("  Base: %d cycles, %d flit-hops\n", base.Stats.Cycles, base.Stats.TotalFlitHops())
+	fmt.Printf("  SF:   %d cycles, %d flit-hops (%d streams floated, %d indirect L3 requests)\n",
+		sf.Stats.Cycles, sf.Stats.TotalFlitHops(), sf.Stats.StreamsFloated, sf.Stats.L3Requests[3])
+	fmt.Printf("  speedup %.2fx, traffic %.0f%%\n",
+		float64(base.Stats.Cycles)/float64(sf.Stats.Cycles),
+		100*float64(sf.Stats.TotalFlitHops())/float64(base.Stats.TotalFlitHops()))
+	fmt.Println()
+	fmt.Println("note: the banded column indices give x[col] high line-level locality, so")
+	fmt.Println("per-element indirect floating trades extra request traffic for the shorter")
+	fmt.Println("dependence chain — the same trade the paper reports for cfd (2% traffic")
+	fmt.Println("increase). Scatter the band wider and the subline savings flip the sign.")
+}

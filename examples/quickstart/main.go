@@ -1,0 +1,47 @@
+// Quickstart: run one benchmark on the baseline and on stream floating,
+// and compare cycles, traffic and energy — the paper's headline claims in
+// thirty lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamfloat"
+)
+
+func main() {
+	const bench = "conv3d"
+	const scale = 0.25
+
+	base, err := streamfloat.ConfigFor("Base", streamfloat.IO4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sf, err := streamfloat.ConfigFor("SF", streamfloat.IO4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rBase, err := streamfloat.Run(base, bench, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rSF, err := streamfloat.Run(sf, bench, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	b, s := rBase.Stats, rSF.Stats
+	fmt.Printf("%s on an in-order 8x8 multicore (scale %.2f)\n\n", bench, scale)
+	fmt.Printf("%-22s %14s %14s\n", "", "Base", "Stream Floating")
+	fmt.Printf("%-22s %14d %14d\n", "cycles", b.Cycles, s.Cycles)
+	fmt.Printf("%-22s %14d %14d\n", "NoC flit-hops", b.TotalFlitHops(), s.TotalFlitHops())
+	fmt.Printf("%-22s %14.4f %14.4f\n", "energy (J)", b.EnergyJ, s.EnergyJ)
+	fmt.Printf("%-22s %14s %14d\n", "streams floated", "-", s.StreamsFloated)
+	fmt.Printf("%-22s %14s %14d\n", "confluence joins", "-", s.ConfluenceGroups)
+	fmt.Printf("\nspeedup %.2fx, traffic %.0f%%, energy %.0f%%\n",
+		float64(b.Cycles)/float64(s.Cycles),
+		100*float64(s.TotalFlitHops())/float64(b.TotalFlitHops()),
+		100*s.EnergyJ/b.EnergyJ)
+}

@@ -1,0 +1,3 @@
+module streamfloat
+
+go 1.22

@@ -1,0 +1,173 @@
+// Package cache implements the three-level cache hierarchy: private L1/L2
+// caches per tile, shared static-NUCA L3 banks with a directory-based MESI
+// protocol (plus the paper's GetU uncached-read extension), RRIP replacement,
+// MSHR merging, and the eviction/reuse accounting behind Fig 2.
+package cache
+
+// MESI stable states tracked at the private L2 (L1 holds valid/dirty only
+// and is kept inclusive in L2).
+type state uint8
+
+const (
+	stInvalid state = iota
+	stShared
+	stExclusive
+	stModified
+)
+
+func (s state) String() string {
+	switch s {
+	case stInvalid:
+		return "I"
+	case stShared:
+		return "S"
+	case stExclusive:
+		return "E"
+	case stModified:
+		return "M"
+	}
+	return "?"
+}
+
+// rrpvMax is the distant re-reference value for 2-bit RRIP.
+const rrpvMax = 3
+
+// noStream marks a line not brought in by a stream access.
+const noStream = -1
+
+// line is one cache line's metadata. The directory fields (sharers, owner)
+// are only meaningful in L3 bank arrays.
+type line struct {
+	addr     uint64 // full line-aligned address; identifies the line
+	valid    bool
+	dirty    bool
+	reused   bool // hit at least once after fill
+	pf       bool // brought in by a prefetcher and not yet demanded
+	stream   bool // brought in by a compiler-identified stream access
+	state    state
+	rrpv     uint8
+	streamID int16 // stream that brought the line in (noStream if none)
+
+	// Directory state (L3 only).
+	sharers uint64 // bitmask of tiles with the line in S
+	owner   int16  // tile holding the line in E/M, or -1
+}
+
+// array is a set-associative cache array with (Bimodal) RRIP replacement.
+type array struct {
+	sets      int
+	ways      int
+	lineBytes uint64
+	lines     []line
+	// brripLongEvery inserts at "long" re-reference once every N fills
+	// (N = round(1/p)); 1 means always long (SRRIP).
+	brripLongEvery int
+	fillCount      int
+
+	// localIndex, when set, maps a line address to the array's private
+	// index space before set selection. L3 banks need this: a bank only
+	// ever sees addresses whose interleave chunk is congruent to its bank
+	// id, so indexing sets by the raw address would exercise a tiny,
+	// aliased subset of the sets.
+	localIndex func(lineAddr uint64) uint64
+}
+
+func newArray(sizeBytes, ways, lineBytes int, brripProb float64) *array {
+	sets := sizeBytes / (ways * lineBytes)
+	if sets <= 0 {
+		panic("cache: array must have at least one set")
+	}
+	longEvery := 1
+	if brripProb > 0 && brripProb < 1 {
+		longEvery = int(1.0/brripProb + 0.5)
+	}
+	a := &array{
+		sets:           sets,
+		ways:           ways,
+		lineBytes:      uint64(lineBytes),
+		lines:          make([]line, sets*ways),
+		brripLongEvery: longEvery,
+	}
+	for i := range a.lines {
+		a.lines[i].owner = -1
+		a.lines[i].streamID = noStream
+	}
+	return a
+}
+
+func (a *array) setOf(lineAddr uint64) int {
+	if a.localIndex != nil {
+		return int(a.localIndex(lineAddr) % uint64(a.sets))
+	}
+	return int((lineAddr / a.lineBytes) % uint64(a.sets))
+}
+
+// lookup returns the line holding lineAddr, or nil.
+func (a *array) lookup(lineAddr uint64) *line {
+	set := a.setOf(lineAddr)
+	ls := a.lines[set*a.ways : (set+1)*a.ways]
+	for i := range ls {
+		if ls[i].valid && ls[i].addr == lineAddr {
+			return &ls[i]
+		}
+	}
+	return nil
+}
+
+// touch promotes a line on hit (RRIP near re-reference).
+func (a *array) touch(l *line) { l.rrpv = 0 }
+
+// victim selects the replacement victim in lineAddr's set: an invalid way if
+// one exists, otherwise the RRIP victim (aging RRPVs as needed).
+func (a *array) victim(lineAddr uint64) *line {
+	set := a.setOf(lineAddr)
+	ls := a.lines[set*a.ways : (set+1)*a.ways]
+	for i := range ls {
+		if !ls[i].valid {
+			return &ls[i]
+		}
+	}
+	for {
+		for i := range ls {
+			if ls[i].rrpv >= rrpvMax {
+				return &ls[i]
+			}
+		}
+		for i := range ls {
+			ls[i].rrpv++
+		}
+	}
+}
+
+// insert installs lineAddr into the slot previously returned by victim,
+// resetting metadata and applying the bimodal insertion policy. The caller
+// must have handled the victim's eviction first.
+func (a *array) insert(slot *line, lineAddr uint64) {
+	a.fillCount++
+	rrpv := uint8(rrpvMax) // distant
+	if a.brripLongEvery <= 1 || a.fillCount%a.brripLongEvery == 0 {
+		rrpv = rrpvMax - 1 // long
+	}
+	*slot = line{
+		addr:     lineAddr,
+		valid:    true,
+		state:    stInvalid, // caller sets
+		rrpv:     rrpv,
+		streamID: noStream,
+		owner:    -1,
+	}
+}
+
+// invalidate drops a line.
+func (a *array) invalidate(l *line) {
+	*l = line{owner: -1, streamID: noStream}
+}
+
+// forEachValid visits every valid line (used by tests and drain logic).
+func (a *array) forEachValid(fn func(*line)) {
+	for i := range a.lines {
+		if a.lines[i].valid {
+			fn(&a.lines[i])
+		}
+	}
+}

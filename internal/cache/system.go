@@ -1,0 +1,468 @@
+package cache
+
+import (
+	"streamfloat/internal/config"
+	"streamfloat/internal/event"
+	"streamfloat/internal/mem"
+	"streamfloat/internal/noc"
+	"streamfloat/internal/stats"
+)
+
+// Kind is the type of a memory access entering the hierarchy.
+type Kind int
+
+const (
+	// Read is a demand load from the core.
+	Read Kind = iota
+	// Write is a demand store from the core (write-allocate, RFO).
+	Write
+	// PrefL1 is a prefetch that fills L1 and L2.
+	PrefL1
+	// PrefL2 is a prefetch that fills L2 only.
+	PrefL2
+	// StreamRead is an SEcore-issued (non-floated) stream fetch; it fills
+	// the caches like a demand read and tags the line with its stream.
+	StreamRead
+)
+
+// Meta carries provenance for an access: the synthetic PC (for prefetcher
+// training) and the stream that generated it, if any.
+type Meta struct {
+	PC       uint32
+	StreamID int // stream id, or -1
+}
+
+// NoMeta is the Meta for plain accesses.
+var NoMeta = Meta{StreamID: -1}
+
+// lineSize is fixed at 64 bytes throughout the system.
+const lineSize = 64
+
+// tileCaches is the private cache state of one tile.
+type tileCaches struct {
+	l1   *array
+	l2   *array
+	mshr map[uint64][]func(event.Cycle) // L2 miss merging, by line address
+}
+
+// System is the full memory hierarchy of the simulated machine.
+type System struct {
+	eng  *event.Engine
+	st   *stats.Stats
+	cfg  config.Config
+	mesh *noc.Mesh
+	dram *mem.DRAM
+
+	tiles []*tileCaches
+	banks []*array
+
+	// fillMSHR merges concurrent DRAM fills per bank and line.
+	fillMSHR []map[uint64][]func()
+
+	// Observers wired by the system assembly (prefetchers, stream engines).
+	l1Observer     func(tile int, addr uint64, pc uint32, hit bool)
+	l2MissObserver func(tile int, lineAddr uint64, pc uint32)
+	streamReuse    func(tile int, streamID int)
+	l2DirtyEvict   func(tile int, lineAddr uint64)
+	bankWrite      func(bank int, lineAddr uint64, writerTile int)
+}
+
+// NewSystem builds the hierarchy for cfg over the given mesh and DRAM.
+func NewSystem(eng *event.Engine, st *stats.Stats, cfg config.Config, mesh *noc.Mesh, dram *mem.DRAM) *System {
+	n := cfg.Tiles()
+	s := &System{eng: eng, st: st, cfg: cfg, mesh: mesh, dram: dram}
+	s.tiles = make([]*tileCaches, n)
+	s.banks = make([]*array, n)
+	s.fillMSHR = make([]map[uint64][]func(), n)
+	for i := 0; i < n; i++ {
+		s.fillMSHR[i] = make(map[uint64][]func())
+		s.tiles[i] = &tileCaches{
+			l1:   newArray(cfg.L1.SizeBytes, cfg.L1.Ways, cfg.L1.LineBytes, cfg.L1.BRRIPProb),
+			l2:   newArray(cfg.L2.SizeBytes, cfg.L2.Ways, cfg.L2.LineBytes, cfg.L2.BRRIPProb),
+			mshr: make(map[uint64][]func(event.Cycle)),
+		}
+		bank := newArray(cfg.L3.SizeBytes, cfg.L3.Ways, cfg.L3.LineBytes, cfg.L3.BRRIPProb)
+		// Bank-local indexing: number the lines a bank actually owns
+		// (chunk-major within the interleaving) so all sets are used.
+		interleave := uint64(cfg.L3InterleaveBytes)
+		linesPerChunk := interleave / uint64(cfg.L3.LineBytes)
+		tiles := uint64(n)
+		lineBytes := uint64(cfg.L3.LineBytes)
+		bank.localIndex = func(la uint64) uint64 {
+			chunk := la / interleave
+			return (chunk/tiles)*linesPerChunk + (la%interleave)/lineBytes
+		}
+		s.banks[i] = bank
+	}
+	return s
+}
+
+// SetL1Observer registers a callback invoked on every demand L1 access
+// (prefetcher training).
+func (s *System) SetL1Observer(fn func(tile int, addr uint64, pc uint32, hit bool)) {
+	s.l1Observer = fn
+}
+
+// SetL2MissObserver registers a callback invoked on every L2 demand miss.
+func (s *System) SetL2MissObserver(fn func(tile int, lineAddr uint64, pc uint32)) {
+	s.l2MissObserver = fn
+}
+
+// SetStreamReuseObserver registers the SEcore notification fired when a
+// stream-tagged private line is reused (float policy input, §IV-D).
+func (s *System) SetStreamReuseObserver(fn func(tile int, streamID int)) {
+	s.streamReuse = fn
+}
+
+// SetL2DirtyEvictObserver registers the SE_L2 alias-check hook fired when a
+// dirty line leaves the private L2 (§IV-E, window 2).
+func (s *System) SetL2DirtyEvictObserver(fn func(tile int, lineAddr uint64)) {
+	s.l2DirtyEvict = fn
+}
+
+// SetBankWriteObserver registers a hook fired when a bank grants write
+// ownership (GetX): the stream-grain coherence range check of §V-B.
+func (s *System) SetBankWriteObserver(fn func(bank int, lineAddr uint64, writerTile int)) {
+	s.bankWrite = fn
+}
+
+// LineAddr aligns addr down to its cache line.
+func LineAddr(addr uint64) uint64 { return addr &^ (lineSize - 1) }
+
+// Access sends one access into the hierarchy from the given tile. done (may
+// be nil) fires when the access completes from the core's perspective:
+// data available for reads, ownership acquired for writes. Prefetches
+// complete silently.
+func (s *System) Access(tile int, addr uint64, kind Kind, meta Meta, done func(event.Cycle)) {
+	la := LineAddr(addr)
+	switch kind {
+	case PrefL2:
+		s.eng.Schedule(event.Cycle(s.cfg.L2.LatCycles), func(event.Cycle) {
+			s.l2Prefetch(tile, la, meta)
+		})
+	case Write:
+		s.eng.Schedule(event.Cycle(s.cfg.L1.LatCycles), func(event.Cycle) {
+			s.storeAfterL1(tile, addr, la, meta, done)
+		})
+	default: // Read, PrefL1, StreamRead
+		s.eng.Schedule(event.Cycle(s.cfg.L1.LatCycles), func(event.Cycle) {
+			s.loadAfterL1(tile, addr, la, kind, meta, done)
+		})
+	}
+}
+
+func (s *System) notifyDone(done func(event.Cycle)) {
+	if done != nil {
+		done(s.eng.Now())
+	}
+}
+
+// loadAfterL1 runs once the L1 tag lookup completes.
+func (s *System) loadAfterL1(tile int, addr, la uint64, kind Kind, meta Meta, done func(event.Cycle)) {
+	tc := s.tiles[tile]
+	demand := kind == Read || kind == StreamRead
+	l := tc.l1.lookup(la)
+	if s.l1Observer != nil && demand {
+		s.l1Observer(tile, addr, meta.PC, l != nil)
+	}
+	if l != nil {
+		if demand {
+			s.st.L1Hits++
+			s.demandHitLine(tile, l)
+			tc.l1.touch(l)
+		}
+		s.notifyDone(done)
+		return
+	}
+	if demand {
+		s.st.L1Misses++
+	}
+	// L1 miss: continue to L2 after its lookup latency.
+	s.eng.Schedule(event.Cycle(s.cfg.L2.LatCycles), func(event.Cycle) {
+		s.loadAfterL2(tile, la, kind, meta, done)
+	})
+}
+
+// demandHitLine updates reuse/prefetch/stream bookkeeping when a demand
+// access hits a private-cache line.
+func (s *System) demandHitLine(tile int, l *line) {
+	if l.pf {
+		l.pf = false
+		s.st.PrefetchUseful++
+	}
+	if !l.reused {
+		l.reused = true
+	}
+	if l.streamID != noStream && s.streamReuse != nil {
+		s.streamReuse(tile, int(l.streamID))
+	}
+}
+
+func (s *System) loadAfterL2(tile int, la uint64, kind Kind, meta Meta, done func(event.Cycle)) {
+	tc := s.tiles[tile]
+	demand := kind == Read || kind == StreamRead
+	l := tc.l2.lookup(la)
+	if l != nil && l.state != stInvalid {
+		if demand {
+			s.st.L2Hits++
+			s.demandHitLine(tile, l)
+			tc.l2.touch(l)
+		}
+		if kind != PrefL2 {
+			s.fillL1(tile, la, kind != Read, meta)
+		}
+		s.notifyDone(done)
+		return
+	}
+	if demand {
+		s.st.L2Misses++
+		if s.l2MissObserver != nil {
+			s.l2MissObserver(tile, la, meta.PC)
+		}
+	}
+	// Merge into an outstanding miss if one exists.
+	finish := func(now event.Cycle) { s.notifyDone(done) }
+	if waiters, ok := tc.mshr[la]; ok {
+		tc.mshr[la] = append(waiters, finish)
+		return
+	}
+	tc.mshr[la] = []func(event.Cycle){finish}
+	l3kind := stats.L3CoreNormal
+	if kind == StreamRead {
+		l3kind = stats.L3CoreStream
+	}
+	s.fetch(tile, la, false, l3kind, meta, kind)
+}
+
+// storeAfterL1 handles the store path once L1 lookup completes.
+func (s *System) storeAfterL1(tile int, addr, la uint64, meta Meta, done func(event.Cycle)) {
+	tc := s.tiles[tile]
+	l1 := tc.l1.lookup(la)
+	if s.l1Observer != nil {
+		s.l1Observer(tile, addr, meta.PC, l1 != nil)
+	}
+	l2 := tc.l2.lookup(la)
+	if l2 != nil && (l2.state == stModified || l2.state == stExclusive) {
+		// Writable locally: E upgrades to M silently.
+		s.st.L1Hits++ // store hit from the pipeline's perspective
+		l2.state = stModified
+		l2.dirty = true
+		s.demandHitLine(tile, l2)
+		tc.l2.touch(l2)
+		if l1 == nil {
+			s.fillL1(tile, la, false, meta)
+			l1 = tc.l1.lookup(la)
+		}
+		if l1 != nil {
+			l1.dirty = true
+			tc.l1.touch(l1)
+		}
+		s.notifyDone(done)
+		return
+	}
+	s.st.L1Misses++
+	// Needs ownership: S upgrade or full RFO miss.
+	if l2 != nil && l2.state == stShared {
+		s.st.L2Hits++
+	} else {
+		s.st.L2Misses++
+		if s.l2MissObserver != nil {
+			s.l2MissObserver(tile, la, meta.PC)
+		}
+	}
+	finish := func(now event.Cycle) { s.notifyDone(done) }
+	if waiters, ok := tc.mshr[la]; ok {
+		tc.mshr[la] = append(waiters, finish)
+		return
+	}
+	tc.mshr[la] = []func(event.Cycle){finish}
+	s.fetch(tile, la, true, stats.L3CoreNormal, meta, Write)
+}
+
+// l2Prefetch installs a line into L2 only (L2 stride prefetcher).
+func (s *System) l2Prefetch(tile int, la uint64, meta Meta) {
+	tc := s.tiles[tile]
+	if tc.l2.lookup(la) != nil {
+		return
+	}
+	if _, ok := tc.mshr[la]; ok {
+		return // demand or another prefetch already fetching
+	}
+	tc.mshr[la] = nil
+	s.st.PrefetchIssued++
+	s.fetch(tile, la, false, stats.L3CoreNormal, meta, PrefL2)
+}
+
+// PrefetchBulkL2 issues a group of L2 prefetches to a single L3 bank as one
+// request message (the bulk-prefetch baseline of §VI). All lines must map to
+// the same bank; the caller guarantees this.
+func (s *System) PrefetchBulkL2(tile int, bank int, lineAddrs []uint64, meta Meta) {
+	tc := s.tiles[tile]
+	var todo []uint64
+	for _, la := range lineAddrs {
+		if tc.l2.lookup(la) != nil {
+			continue
+		}
+		if _, ok := tc.mshr[la]; ok {
+			continue
+		}
+		tc.mshr[la] = nil
+		s.st.PrefetchIssued++
+		todo = append(todo, la)
+	}
+	if len(todo) == 0 {
+		return
+	}
+	// One request message carries all grouped line addresses.
+	payload := 8 * len(todo)
+	s.mesh.Send(tile, bank, stats.ClassCtrlReq, payload, func(event.Cycle) {
+		for _, la := range todo {
+			la := la
+			s.bankHandle(bank, la, tile, false, stats.L3CoreNormal, func(granted state, now event.Cycle) {
+				s.finishFetch(tile, la, granted, Meta{StreamID: -1}, PrefL2)
+			})
+		}
+	})
+}
+
+// fetch sends a GetS/GetX to the home bank and completes the fill.
+func (s *System) fetch(tile int, la uint64, excl bool, l3kind stats.L3ReqKind, meta Meta, kind Kind) {
+	bank := s.cfg.HomeBank(la)
+	if kind == PrefL1 || kind == PrefL2 {
+		s.st.PrefetchIssued++
+	}
+	s.mesh.Send(tile, bank, stats.ClassCtrlReq, 8, func(event.Cycle) {
+		s.bankHandle(bank, la, tile, excl, l3kind, func(granted state, now event.Cycle) {
+			s.finishFetch(tile, la, granted, meta, kind)
+		})
+	})
+}
+
+// finishFetch installs the response in the private caches and wakes MSHR
+// waiters.
+func (s *System) finishFetch(tile int, la uint64, granted state, meta Meta, kind Kind) {
+	tc := s.tiles[tile]
+	s.fillL2(tile, la, granted, meta, kind)
+	if kind != PrefL2 {
+		s.fillL1(tile, la, kind == PrefL1 || kind == StreamRead, meta)
+	}
+	waiters := tc.mshr[la]
+	delete(tc.mshr, la)
+	now := s.eng.Now()
+	for _, w := range waiters {
+		if w != nil {
+			w(now)
+		}
+	}
+}
+
+// fillL2 installs la into the tile's L2 with the granted MESI state.
+func (s *System) fillL2(tile int, la uint64, granted state, meta Meta, kind Kind) {
+	tc := s.tiles[tile]
+	if l := tc.l2.lookup(la); l != nil {
+		// Upgrade of an existing line.
+		l.state = granted
+		if granted == stModified {
+			l.dirty = true
+		}
+		return
+	}
+	slot := tc.l2.victim(la)
+	if slot.valid {
+		s.evictL2(tile, slot)
+	}
+	tc.l2.insert(slot, la)
+	slot.state = granted
+	slot.dirty = granted == stModified
+	slot.pf = kind == PrefL1 || kind == PrefL2
+	if meta.StreamID >= 0 {
+		slot.streamID = int16(meta.StreamID)
+		slot.stream = true
+	}
+}
+
+// fillL1 installs la into the tile's L1.
+func (s *System) fillL1(tile int, la uint64, pf bool, meta Meta) {
+	tc := s.tiles[tile]
+	if tc.l1.lookup(la) != nil {
+		return
+	}
+	slot := tc.l1.victim(la)
+	if slot.valid {
+		s.evictL1(tile, slot)
+	}
+	tc.l1.insert(slot, la)
+	slot.pf = pf
+	if meta.StreamID >= 0 {
+		slot.streamID = int16(meta.StreamID)
+		slot.stream = true
+	}
+}
+
+// evictL1 handles an L1 replacement: dirty data merges into the (inclusive)
+// L2 copy locally, with no network traffic.
+func (s *System) evictL1(tile int, victim *line) {
+	if victim.dirty {
+		if l2 := s.tiles[tile].l2.lookup(victim.addr); l2 != nil {
+			l2.dirty = true
+			if l2.state == stExclusive {
+				l2.state = stModified
+			}
+		}
+	}
+	s.tiles[tile].l1.invalidate(victim)
+}
+
+// evictL2 handles an L2 replacement: dirty lines write back to the home
+// bank; clean lines send the directory a PutS notification — the coherence
+// bookkeeping traffic that Fig 2b measures. The victim's L1 copy is
+// back-invalidated to preserve inclusion.
+func (s *System) evictL2(tile int, victim *line) {
+	va := victim.addr
+	home := s.cfg.HomeBank(va)
+	dirty := victim.dirty || victim.state == stModified
+
+	s.st.L2Evictions++
+	if !dirty && !victim.reused {
+		s.st.L2EvictCleanNoReuse++
+		if victim.stream {
+			s.st.L2EvictCleanNoReuseStream++
+		}
+		// Fig 2b attribution: the flit-hops spent caching this line for
+		// nothing — the original request and data response plus this
+		// eviction notification.
+		hops := uint64(s.mesh.Hops(tile, home))
+		dataFlits := uint64(s.mesh.Flits(lineSize))
+		s.st.UnreusedCtrlFlitHops += 2 * hops // GetS request + PutS
+		s.st.UnreusedDataFlitHops += dataFlits * hops
+	}
+
+	// Back-invalidate the L1 copy (merging its dirty data first).
+	if l1 := s.tiles[tile].l1.lookup(va); l1 != nil {
+		if l1.dirty {
+			dirty = true
+		}
+		s.tiles[tile].l1.invalidate(l1)
+	}
+
+	// Directory update is applied immediately; the message models traffic
+	// and occupancy.
+	if dl := s.banks[home].lookup(va); dl != nil {
+		dl.sharers &^= 1 << uint(tile)
+		if dl.owner == int16(tile) {
+			dl.owner = -1
+		}
+		if dirty {
+			dl.dirty = true
+		}
+	}
+	if dirty {
+		if s.l2DirtyEvict != nil {
+			s.l2DirtyEvict(tile, va)
+		}
+		s.mesh.Send(tile, home, stats.ClassData, lineSize, func(event.Cycle) {})
+	} else {
+		s.mesh.Send(tile, home, stats.ClassCtrlCoh, 0, func(event.Cycle) {})
+	}
+	s.tiles[tile].l2.invalidate(victim)
+}

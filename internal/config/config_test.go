@@ -1,0 +1,173 @@
+package config
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultIsTableIII(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	if c.Tiles() != 64 {
+		t.Errorf("tiles = %d, want 64", c.Tiles())
+	}
+	if c.L1.SizeBytes != 32<<10 || c.L1.Ways != 8 || c.L1.LatCycles != 2 {
+		t.Error("L1 differs from Table III")
+	}
+	if c.L2.SizeBytes != 256<<10 || c.L2.Ways != 16 || c.L2.LatCycles != 16 {
+		t.Error("L2 differs from Table III")
+	}
+	if c.L3.SizeBytes != 1<<20 || c.L3.Ways != 16 || c.L3.LatCycles != 20 {
+		t.Error("L3 bank differs from Table III")
+	}
+	if c.LinkBits != 256 || c.RouterLatency != 5 || c.LinkLatency != 1 {
+		t.Error("NoC differs from Table III")
+	}
+	if c.MaxStreamsPerCore != 12 || c.SEL2BufferBytes != 16<<10 {
+		t.Error("SE sizes differ from Table III")
+	}
+	if c.L3.BRRIPProb != 0.03 {
+		t.Error("L3 replacement is not Bimodal RRIP p=0.03")
+	}
+}
+
+func TestCoreParamsTableIII(t *testing.T) {
+	io4 := ParamsFor(IO4)
+	if io4.IssueWidth != 4 || io4.LQSize != 4 || !io4.InOrder || io4.SEFIFOBytes != 256 {
+		t.Errorf("IO4 params wrong: %+v", io4)
+	}
+	o4 := ParamsFor(OOO4)
+	if o4.IssueWidth != 4 || o4.ROBSize != 96 || o4.LQSize != 24 || o4.SEFIFOBytes != 1024 {
+		t.Errorf("OOO4 params wrong: %+v", o4)
+	}
+	o8 := ParamsFor(OOO8)
+	if o8.IssueWidth != 8 || o8.ROBSize != 224 || o8.LQSize != 72 || o8.SEFIFOBytes != 2048 {
+		t.Errorf("OOO8 params wrong: %+v", o8)
+	}
+}
+
+func TestForSystem(t *testing.T) {
+	for _, name := range SystemNames() {
+		c, err := ForSystem(name, OOO8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+	}
+	if _, err := ForSystem("bogus", OOO8); err == nil {
+		t.Error("bogus system accepted")
+	}
+	sf, _ := ForSystem("SF", OOO8)
+	if sf.L3InterleaveBytes != 1024 {
+		t.Error("SF must default to 1 kB interleaving")
+	}
+	if !sf.FloatIndirect || !sf.FloatConfluence {
+		t.Error("SF must enable all optimizations")
+	}
+	aff, _ := ForSystem("SF-Aff", OOO8)
+	if aff.FloatIndirect || aff.FloatConfluence {
+		t.Error("SF-Aff must disable indirect and confluence")
+	}
+	ind, _ := ForSystem("SF-Ind", OOO8)
+	if !ind.FloatIndirect || ind.FloatConfluence {
+		t.Error("SF-Ind must enable only indirect")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.MeshWidth = 0 },
+		func(c *Config) { c.LinkBits = 200 },
+		func(c *Config) { c.L1.SizeBytes = 1000 }, // not divisible
+		func(c *Config) { c.L3InterleaveBytes = 32 },
+		func(c *Config) { c.L3InterleaveBytes = 96 },
+		func(c *Config) { c.FloatIndirect = true }, // stream off
+		func(c *Config) { c.MaxStreamsPerCore = 0 },
+		func(c *Config) { c.SEL2BufferBytes = 0 },
+		func(c *Config) { c.DRAMBandwidthBpc = 0 },
+		func(c *Config) { c.ConfluenceBlock = 0 },
+		func(c *Config) { c.L2.BRRIPProb = 1.5 },
+	}
+	for i, mut := range mutations {
+		c := Default()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestHomeBankInterleave(t *testing.T) {
+	c := Default()
+	c.L3InterleaveBytes = 1024
+	if c.HomeBank(0) != 0 || c.HomeBank(1023) != 0 {
+		t.Error("first KB must map to bank 0")
+	}
+	if c.HomeBank(1024) != 1 {
+		t.Error("second KB must map to bank 1")
+	}
+	if c.HomeBank(64*1024) != 0 {
+		t.Error("interleave must wrap at Tiles()")
+	}
+}
+
+func TestMemControllerTiles(t *testing.T) {
+	c := Default()
+	got := c.MemControllerTiles()
+	want := []int{0, 7, 56, 63}
+	if len(got) != 4 {
+		t.Fatalf("controllers = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("controller %d at tile %d, want %d", i, got[i], want[i])
+		}
+	}
+	c.MeshWidth, c.MeshHeight = 1, 1
+	if n := len(c.MemControllerTiles()); n != 1 {
+		t.Errorf("1x1 mesh has %d controllers", n)
+	}
+}
+
+func TestSetsGeometry(t *testing.T) {
+	c := Default()
+	if c.L1.Sets() != 64 || c.L2.Sets() != 256 || c.L3.Sets() != 1024 {
+		t.Errorf("sets: %d %d %d", c.L1.Sets(), c.L2.Sets(), c.L3.Sets())
+	}
+}
+
+func TestLabels(t *testing.T) {
+	c := Default()
+	if c.Label() != "Base/OOO8/8x8" {
+		t.Errorf("label = %q", c.Label())
+	}
+	sf, _ := ForSystem("SF", IO4)
+	if sf.Label() != "SF/IO4/8x8" {
+		t.Errorf("label = %q", sf.Label())
+	}
+}
+
+// Property: HomeBank covers all banks over a contiguous region and is stable.
+func TestPropertyHomeBankCoverage(t *testing.T) {
+	f := func(base uint64) bool {
+		c := Default()
+		c.L3InterleaveBytes = 1024
+		base &= (1 << 40) - 1
+		seen := map[int]bool{}
+		for i := 0; i < c.Tiles(); i++ {
+			b := c.HomeBank(base + uint64(i*1024))
+			if b < 0 || b >= c.Tiles() {
+				return false
+			}
+			seen[b] = true
+		}
+		return len(seen) == c.Tiles()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

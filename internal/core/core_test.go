@@ -1,0 +1,518 @@
+package core
+
+import (
+	"testing"
+
+	"streamfloat/internal/cache"
+	"streamfloat/internal/config"
+	"streamfloat/internal/event"
+	"streamfloat/internal/mem"
+	"streamfloat/internal/noc"
+	"streamfloat/internal/stats"
+	"streamfloat/internal/stream"
+	"streamfloat/internal/workload"
+)
+
+type rig struct {
+	eng *event.Engine
+	st  *stats.Stats
+	cfg config.Config
+	sys *cache.System
+	bk  *mem.Backing
+	e   *Engines
+}
+
+func newRig(mutate func(*config.Config)) *rig {
+	cfg, _ := config.ForSystem("SF", config.OOO8)
+	cfg.MeshWidth, cfg.MeshHeight = 4, 4
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	eng := event.New()
+	st := &stats.Stats{}
+	mesh := noc.New(eng, st, cfg.MeshWidth, cfg.MeshHeight, cfg.LinkBits, cfg.RouterLatency, cfg.LinkLatency)
+	dram := mem.NewDRAM(eng, st, cfg.DRAMLatency, cfg.DRAMBandwidthBpc, cfg.MemControllerTiles())
+	sys := cache.NewSystem(eng, st, cfg, mesh, dram)
+	bk := mem.NewBacking()
+	return &rig{eng: eng, st: st, cfg: cfg, sys: sys, bk: bk,
+		e: NewEngines(eng, st, cfg, mesh, sys, bk)}
+}
+
+// bigStream returns a phase with one affine stream whose footprint exceeds
+// L2, so the float policy offloads it at configure time.
+func bigStream(base uint64, lines int64) *workload.Phase {
+	return &workload.Phase{
+		Name: "s",
+		Loads: []stream.Decl{{ID: 0, Name: "a", PC: 11, Affine: &stream.Affine{
+			Base: base, ElemSize: 64, Strides: [3]int64{64}, Lens: [3]int64{lines},
+		}}},
+		NumIters:      lines,
+		ComputeCycles: 1,
+		InstrsPerIter: 4,
+	}
+}
+
+// consume drives the full request/release protocol for one core like the
+// pipeline would, in order, with the given window.
+func (r *rig) consume(t *testing.T, tile int, ph *workload.Phase, window int) {
+	t.Helper()
+	ready := false
+	r.e.ConfigurePhase(tile, ph, func() { ready = true })
+	r.eng.Run(0)
+	if !ready {
+		t.Fatal("configure did not complete")
+	}
+	next, done := int64(0), int64(0)
+	var pump func()
+	pump = func() {
+		for next-done < int64(window) && next < ph.NumIters {
+			i := next
+			next++
+			for _, d := range ph.Loads {
+				d := d
+				r.e.RequestElement(tile, d.ID, i, func(event.Cycle) {
+					r.e.ReleaseElement(tile, d.ID, i)
+					if d.ID == ph.Loads[0].ID {
+						done++
+						pump()
+					}
+				})
+			}
+		}
+	}
+	pump()
+	r.eng.Run(0)
+	if done != ph.NumIters {
+		t.Fatalf("consumed %d/%d elements", done, ph.NumIters)
+	}
+	r.e.EndPhase(tile)
+	r.eng.Run(0)
+}
+
+func TestFloatAtConfigureByFootprint(t *testing.T) {
+	r := newRig(nil)
+	lines := int64(r.cfg.L2.SizeBytes/64 + 100) // footprint > L2
+	r.consume(t, 0, bigStream(0x100000, lines), 8)
+	if r.st.StreamsFloated != 1 {
+		t.Fatalf("floated = %d, want 1", r.st.StreamsFloated)
+	}
+	if r.st.StreamConfigs != 1 {
+		t.Errorf("configs = %d", r.st.StreamConfigs)
+	}
+	if r.st.L3Requests[stats.L3FloatAffine] == 0 {
+		t.Error("no floated affine requests issued")
+	}
+	// With 1 kB interleaving the stream must migrate about every 16 lines.
+	wantMig := uint64(lines/16) - 2
+	if r.st.StreamMigrations < wantMig/2 {
+		t.Errorf("migrations = %d, want about %d", r.st.StreamMigrations, wantMig)
+	}
+	if r.st.StreamCredits == 0 {
+		t.Error("no flow-control credits sent")
+	}
+}
+
+func TestSmallStreamStaysCached(t *testing.T) {
+	r := newRig(nil)
+	r.consume(t, 0, bigStream(0x200000, 32), 4) // 2 kB footprint
+	if r.st.StreamsFloated != 0 {
+		t.Errorf("small stream floated")
+	}
+	if r.st.L3Requests[stats.L3CoreStream] == 0 {
+		t.Error("SEcore should have prefetched through the caches")
+	}
+}
+
+func TestHistoryFloatsRepeatedStream(t *testing.T) {
+	r := newRig(nil)
+	// A small stream re-configured many times with no reuse (fresh address
+	// region each phase) accumulates history and eventually floats.
+	for p := 0; p < 6; p++ {
+		ph := bigStream(uint64(0x400000+p*0x40000), 48)
+		r.consume(t, 0, ph, 4)
+	}
+	if r.st.StreamsFloated == 0 {
+		t.Error("history policy never floated a thrashing stream")
+	}
+}
+
+func TestSSModeNeverFloats(t *testing.T) {
+	r := newRig(func(c *config.Config) {
+		c.Stream = config.StreamSS
+		c.FloatIndirect = false
+		c.FloatConfluence = false
+		c.L3InterleaveBytes = 64
+	})
+	lines := int64(r.cfg.L2.SizeBytes/64 + 100)
+	r.consume(t, 0, bigStream(0x300000, lines), 8)
+	if r.st.StreamsFloated != 0 {
+		t.Error("SS mode must not float")
+	}
+	if r.st.L3Requests[stats.L3FloatAffine] != 0 {
+		t.Error("SS mode issued floated requests")
+	}
+}
+
+func TestIndirectFloating(t *testing.T) {
+	r := newRig(nil)
+	n := int64(r.cfg.L2.SizeBytes/4 + 4096) // index elements, footprint > L2
+	idxBase := r.bk.Alloc(uint64(n*4), 64)
+	dataBase := r.bk.Alloc(1<<22, 64)
+	for i := int64(0); i < n; i++ {
+		r.bk.WriteU32(idxBase+uint64(i*4), uint32((i*7919)%(1<<16)))
+	}
+	ph := &workload.Phase{
+		Name: "ind",
+		Loads: []stream.Decl{
+			{ID: 0, Name: "idx", PC: 21, Affine: &stream.Affine{
+				Base: idxBase, ElemSize: 4, Strides: [3]int64{4}, Lens: [3]int64{n}}},
+			{ID: 1, Name: "data", PC: 22, BaseOn: 0,
+				Indirect: &stream.Indirect{Base: dataBase, ElemSize: 4, Scale: 4, WBytes: 4}},
+		},
+		NumIters:      n,
+		ComputeCycles: 1,
+		InstrsPerIter: 6,
+	}
+	r.consume(t, 0, ph, 8)
+	if r.st.L3Requests[stats.L3FloatIndirect] == 0 {
+		t.Error("no indirect floated requests")
+	}
+	if r.st.SublineResponses == 0 {
+		t.Error("indirect responses must use subline transfer")
+	}
+}
+
+func TestSFAffKeepsIndirectAtCore(t *testing.T) {
+	r := newRig(func(c *config.Config) { c.FloatIndirect = false })
+	n := int64(r.cfg.L2.SizeBytes/4 + 4096)
+	idxBase := r.bk.Alloc(uint64(n*4), 64)
+	dataBase := r.bk.Alloc(1<<22, 64)
+	ph := &workload.Phase{
+		Name: "ind",
+		Loads: []stream.Decl{
+			{ID: 0, Name: "idx", PC: 31, Affine: &stream.Affine{
+				Base: idxBase, ElemSize: 4, Strides: [3]int64{4}, Lens: [3]int64{n}}},
+			{ID: 1, Name: "data", PC: 32, BaseOn: 0,
+				Indirect: &stream.Indirect{Base: dataBase, ElemSize: 4, Scale: 4, WBytes: 4}},
+		},
+		NumIters:      n,
+		ComputeCycles: 1,
+		InstrsPerIter: 6,
+	}
+	r.consume(t, 0, ph, 8)
+	if r.st.L3Requests[stats.L3FloatIndirect] != 0 {
+		t.Error("SF-Aff must not float indirect streams")
+	}
+	if r.st.L3Requests[stats.L3FloatAffine] == 0 {
+		t.Error("the affine base should still float")
+	}
+}
+
+func TestConfluenceMergesIdenticalStreams(t *testing.T) {
+	r := newRig(nil)
+	lines := int64(r.cfg.L2.SizeBytes/64 + 512)
+	// Tiles 0 and 1 are in the same 2x2 block and stream identical data.
+	ph0 := bigStream(0x800000, lines)
+	ph1 := bigStream(0x800000, lines)
+	ready := 0
+	r.e.ConfigurePhase(0, ph0, func() { ready++ })
+	r.e.ConfigurePhase(1, ph1, func() { ready++ })
+	r.eng.Run(0)
+	if ready != 2 {
+		t.Fatal("configs incomplete")
+	}
+	drive := func(tile int, ph *workload.Phase) {
+		next, done := int64(0), int64(0)
+		var pump func()
+		pump = func() {
+			for next-done < 8 && next < ph.NumIters {
+				i := next
+				next++
+				r.e.RequestElement(tile, 0, i, func(event.Cycle) {
+					r.e.ReleaseElement(tile, 0, i)
+					done++
+					pump()
+				})
+			}
+		}
+		pump()
+	}
+	drive(0, ph0)
+	drive(1, ph1)
+	r.eng.Run(0)
+	if r.st.ConfluenceGroups == 0 {
+		t.Error("identical streams from one block did not merge")
+	}
+	if r.st.L3Requests[stats.L3FloatConfluence] == 0 {
+		t.Error("no multicast confluence requests issued")
+	}
+	if r.st.MulticastSave == 0 {
+		t.Error("multicast saved no flit-hops")
+	}
+}
+
+func TestConfluenceRespectsBlocks(t *testing.T) {
+	r := newRig(nil)
+	lines := int64(r.cfg.L2.SizeBytes/64 + 512)
+	// Tiles 0 (block 0,0) and 3 (block 1,0) must NOT merge.
+	ph0 := bigStream(0x900000, lines)
+	ph3 := bigStream(0x900000, lines)
+	r.e.ConfigurePhase(0, ph0, func() {})
+	r.e.ConfigurePhase(3, ph3, func() {})
+	r.eng.Run(0)
+	if r.st.ConfluenceGroups != 0 {
+		t.Error("streams from different blocks merged")
+	}
+	r.e.EndPhase(0)
+	r.e.EndPhase(3)
+	r.eng.Run(0)
+}
+
+func TestConfluenceDisabled(t *testing.T) {
+	r := newRig(func(c *config.Config) { c.FloatConfluence = false })
+	lines := int64(r.cfg.L2.SizeBytes/64 + 512)
+	r.e.ConfigurePhase(0, bigStream(0xa00000, lines), func() {})
+	r.e.ConfigurePhase(1, bigStream(0xa00000, lines), func() {})
+	r.eng.Run(0)
+	if r.st.ConfluenceGroups != 0 {
+		t.Error("confluence formed while disabled")
+	}
+	r.e.EndPhase(0)
+	r.e.EndPhase(1)
+	r.eng.Run(0)
+}
+
+func TestOffsetGroupServesTrailing(t *testing.T) {
+	r := newRig(nil)
+	rows := int64(96) // leader footprint ~384 kB > L2: floats at configure
+	rowBytes := int64(4096)
+	base := uint64(0xb00000) + uint64(rowBytes)
+	mk := func(id int, off int64) stream.Decl {
+		return stream.Decl{ID: id, Name: "t", PC: uint32(41 + id), Affine: &stream.Affine{
+			Base: uint64(int64(base) + off), ElemSize: 64,
+			Strides: [3]int64{64, rowBytes}, Lens: [3]int64{rowBytes / 64, rows},
+		}}
+	}
+	ph := &workload.Phase{
+		Name:          "stencil",
+		Loads:         []stream.Decl{mk(0, -rowBytes), mk(1, 0), mk(2, rowBytes)},
+		NumIters:      rows * rowBytes / 64,
+		ComputeCycles: 2,
+		InstrsPerIter: 8,
+	}
+	r.consume(t, 0, ph, 8)
+	// Only the leader floats; the two trailing streams ride its buffer.
+	if r.st.StreamsFloated != 1 {
+		t.Errorf("floated = %d, want 1 (leader only)", r.st.StreamsFloated)
+	}
+	// The leader's lines serve three consumers: floated requests should be
+	// roughly a third of all elements.
+	total := r.st.L3Requests[stats.L3FloatAffine] + r.st.L3Requests[stats.L3FloatConfluence]
+	if total > uint64(rows*rowBytes/64)+64 {
+		t.Errorf("L3 saw %d float requests for %d lines: trailing streams not deduplicated",
+			total, rows*rowBytes/64)
+	}
+}
+
+func TestSinkOnPrivateHits(t *testing.T) {
+	r := newRig(nil)
+	lines := int64(r.cfg.L2.SizeBytes/64 + 100)
+	base := uint64(0xd00000)
+	// Pre-warm the first 2k lines into the private cache via a cached pass
+	// over a prefix... simpler: run the stream once cached (SS would cache
+	// it), then re-run the same phase: the floated stream now hits the
+	// private caches and must sink.
+	small := bigStream(base, 512) // fits L2: cached pass tags lines
+	r.consume(t, 0, small, 8)
+	// Force the history to float the same PC now.
+	ph := bigStream(base, lines)
+	r.e.cores[0].histFor(11).floated = true
+	r.consume(t, 0, ph, 8)
+	if r.st.StreamsSunk == 0 {
+		t.Error("stream hitting private caches never sank")
+	}
+}
+
+func TestEndPhaseTerminatesRemoteStreams(t *testing.T) {
+	r := newRig(nil)
+	lines := int64(r.cfg.L2.SizeBytes/64 + 2048)
+	ph := bigStream(0xe00000, lines)
+	ready := false
+	r.e.ConfigurePhase(0, ph, func() { ready = true })
+	r.eng.Run(0)
+	if !ready {
+		t.Fatal("config incomplete")
+	}
+	// Consume only a prefix, then end the phase early (context switch /
+	// data-dependent exit): the remote stream must be torn down.
+	for i := int64(0); i < 32; i++ {
+		i := i
+		r.e.RequestElement(0, 0, i, func(event.Cycle) { r.e.ReleaseElement(0, 0, i) })
+	}
+	r.eng.Run(0)
+	r.e.EndPhase(0)
+	r.eng.Run(0)
+	if r.st.StreamEnds == 0 {
+		t.Error("early termination sent no stream-end packet")
+	}
+	if len(r.e.registry) != 0 {
+		t.Errorf("%d zombie streams in registry", len(r.e.registry))
+	}
+}
+
+func TestWalkerGroupsElements(t *testing.T) {
+	// 4-byte elements: 16 per line.
+	w := newLineWalker(stream.Affine{Base: 0, ElemSize: 4, Strides: [3]int64{4}, Lens: [3]int64{40}})
+	r1, ok := w.next()
+	if !ok || r1.elemLo != 0 || r1.elemHi != 15 || r1.seq != 0 {
+		t.Fatalf("first line = %+v", r1)
+	}
+	r2, _ := w.next()
+	if r2.elemLo != 16 || r2.elemHi != 31 || r2.addr != 64 {
+		t.Fatalf("second line = %+v", r2)
+	}
+	r3, _ := w.next()
+	if r3.elemHi != 39 {
+		t.Fatalf("tail line = %+v", r3)
+	}
+	if _, ok := w.next(); ok {
+		t.Fatal("walker should be exhausted")
+	}
+}
+
+func TestWalkerStridedOneElemPerLine(t *testing.T) {
+	w := newLineWalker(stream.Affine{Base: 0, ElemSize: 4, Strides: [3]int64{256}, Lens: [3]int64{10}})
+	count := 0
+	for {
+		ref, ok := w.next()
+		if !ok {
+			break
+		}
+		if ref.elemHi != ref.elemLo {
+			t.Fatalf("strided walker grouped elements: %+v", ref)
+		}
+		count++
+	}
+	if count != 10 {
+		t.Fatalf("lines = %d", count)
+	}
+}
+
+func TestConfigPacketSizes(t *testing.T) {
+	r := newRig(nil)
+	lines := int64(r.cfg.L2.SizeBytes/64 + 100)
+	r.consume(t, 0, bigStream(0xf00000, lines), 8)
+	// Stream control messages must be small: configs are 57-byte payloads
+	// (3 flits at 256-bit), credits 8 bytes (1 flit).
+	if r.st.Flits[stats.ClassStream] == 0 {
+		t.Fatal("no stream-class flits")
+	}
+	msgs := r.st.Messages[stats.ClassStream]
+	flits := r.st.Flits[stats.ClassStream]
+	if flits > msgs*3 {
+		t.Errorf("stream messages average %.1f flits; config overhead too large",
+			float64(flits)/float64(msgs))
+	}
+}
+
+// TestStreamGrainCoherenceInvalidates: with the §V-B alternate enabled, a
+// remote write into a floated stream's accessed range must invalidate the
+// stream (sink) and count the event.
+func TestStreamGrainCoherenceInvalidates(t *testing.T) {
+	r := newRig(func(c *config.Config) { c.StreamGrainCoherence = true })
+	lines := int64(r.cfg.L2.SizeBytes/64 + 2048)
+	base := uint64(0x2000000)
+	ph := bigStream(base, lines)
+	r.e.ConfigurePhase(0, ph, func() {})
+	r.eng.Run(0)
+	// Consume a prefix so the stream establishes a range.
+	for i := int64(0); i < 64; i++ {
+		i := i
+		r.e.RequestElement(0, 0, i, func(event.Cycle) { r.e.ReleaseElement(0, 0, i) })
+	}
+	r.eng.Run(0)
+	// A remote core writes into the consumed range.
+	r.sys.Access(9, base+64, cache.Write, cache.NoMeta, nil)
+	r.eng.Run(0)
+	if r.st.StreamInvalidations == 0 {
+		t.Error("remote write in range did not invalidate the stream")
+	}
+	if r.st.StreamsSunk == 0 {
+		t.Error("invalidated stream did not sink")
+	}
+	r.e.EndPhase(0)
+	r.eng.Run(0)
+}
+
+// TestStreamGrainCoherenceIgnoresOutside: writes outside every stream range
+// must not invalidate anything.
+func TestStreamGrainCoherenceIgnoresOutside(t *testing.T) {
+	r := newRig(func(c *config.Config) { c.StreamGrainCoherence = true })
+	lines := int64(r.cfg.L2.SizeBytes/64 + 2048)
+	ph := bigStream(0x3000000, lines)
+	r.e.ConfigurePhase(0, ph, func() {})
+	r.eng.Run(0)
+	for i := int64(0); i < 32; i++ {
+		i := i
+		r.e.RequestElement(0, 0, i, func(event.Cycle) { r.e.ReleaseElement(0, 0, i) })
+	}
+	r.eng.Run(0)
+	r.sys.Access(9, 0x9000000, cache.Write, cache.NoMeta, nil)
+	r.eng.Run(0)
+	if r.st.StreamInvalidations != 0 {
+		t.Error("out-of-range write invalidated a stream")
+	}
+	r.e.EndPhase(0)
+	r.eng.Run(0)
+}
+
+// TestStreamGrainDisabledByDefault: without the option, the same remote
+// write leaves the stream floating (our default uncached-data approach).
+func TestStreamGrainDisabledByDefault(t *testing.T) {
+	r := newRig(nil)
+	lines := int64(r.cfg.L2.SizeBytes/64 + 2048)
+	base := uint64(0x4000000)
+	ph := bigStream(base, lines)
+	r.e.ConfigurePhase(0, ph, func() {})
+	r.eng.Run(0)
+	for i := int64(0); i < 64; i++ {
+		i := i
+		r.e.RequestElement(0, 0, i, func(event.Cycle) { r.e.ReleaseElement(0, 0, i) })
+	}
+	r.eng.Run(0)
+	r.sys.Access(9, base+64, cache.Write, cache.NoMeta, nil)
+	r.eng.Run(0)
+	if r.st.StreamInvalidations != 0 {
+		t.Error("invalidation fired with stream-grain coherence disabled")
+	}
+	r.e.EndPhase(0)
+	r.eng.Run(0)
+}
+
+func BenchmarkFloatedElementService(b *testing.B) {
+	r := newRig(nil)
+	lines := int64(b.N/16 + 1024)
+	ph := bigStream(0x8000000, lines)
+	ready := false
+	r.e.ConfigurePhase(0, ph, func() { ready = true })
+	r.eng.Run(0)
+	if !ready {
+		b.Fatal("config failed")
+	}
+	b.ResetTimer()
+	next, done := int64(0), int64(0)
+	var pump func()
+	pump = func() {
+		for next-done < 16 && next < int64(b.N) && next < lines {
+			i := next
+			next++
+			r.e.RequestElement(0, 0, i, func(event.Cycle) {
+				r.e.ReleaseElement(0, 0, i)
+				done++
+				pump()
+			})
+		}
+	}
+	pump()
+	r.eng.Run(0)
+}

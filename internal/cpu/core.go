@@ -1,0 +1,324 @@
+// Package cpu models the three evaluated core microarchitectures (IO4,
+// OOO4, OOO8) executing stream-compiled programs. The model is an
+// iteration-window abstraction of the pipeline: up to W loop iterations are
+// in flight (W derived from ROB capacity; ~1 for the in-order core),
+// iteration starts are bounded by issue width, outstanding plain loads are
+// bounded by the load queue, and an iteration completes its dependent
+// compute only after all its loads return. This reproduces the
+// latency-exposure differences between the cores that the paper's results
+// hinge on, without simulating individual instructions.
+package cpu
+
+import (
+	"fmt"
+
+	"streamfloat/internal/cache"
+	"streamfloat/internal/config"
+	"streamfloat/internal/event"
+	"streamfloat/internal/mem"
+	"streamfloat/internal/stats"
+	"streamfloat/internal/stream"
+	"streamfloat/internal/workload"
+)
+
+// StreamSource is the stream engine a stream-specialized core consumes
+// elements from (SEcore; implemented in internal/core). In SS mode the
+// source prefetches through the private caches; in SF mode it may float
+// streams to the L3 stream engines.
+type StreamSource interface {
+	// ConfigurePhase installs the phase's load streams (stream_cfg) and
+	// calls ready once configuration has committed.
+	ConfigurePhase(coreID int, phase *workload.Phase, ready func())
+	// RequestElement asks for element idx of stream sid; cb fires when the
+	// element is consumable (first use, §III-B).
+	RequestElement(coreID int, sid int, idx int64, cb func(event.Cycle))
+	// ReleaseElement retires element idx (stream_step), freeing buffering.
+	ReleaseElement(coreID int, sid int, idx int64)
+	// EndPhase deconstructs the phase's streams (stream_end).
+	EndPhase(coreID int)
+}
+
+// Core is one simulated core executing its program phase by phase.
+type Core struct {
+	ID     int
+	eng    *event.Engine
+	st     *stats.Stats
+	params config.CoreParams
+	mem    *cache.System
+	bk     *mem.Backing
+	se     StreamSource // nil when streams are off
+
+	prog  *workload.Program
+	phase *workload.Phase
+
+	window     int
+	inflight   int
+	nextIter   int64
+	retired    int64
+	issueReady float64
+
+	outLoads  int // plain loads in flight (LQ bound)
+	loadQ     []func()
+	outStores int // stores in flight (SQ bound)
+	storeQ    []func()
+
+	phaseIdx  int
+	phaseDone func()
+}
+
+// NewCore builds a core bound to its program.
+func NewCore(id int, eng *event.Engine, st *stats.Stats, params config.CoreParams,
+	memsys *cache.System, bk *mem.Backing, se StreamSource, prog *workload.Program) *Core {
+	return &Core{ID: id, eng: eng, st: st, params: params, mem: memsys, bk: bk, se: se, prog: prog}
+}
+
+// NumPhases reports how many phases this core's program has.
+func (c *Core) NumPhases() int { return len(c.prog.Phases) }
+
+// BeginPhase starts executing phase idx; done fires when every iteration has
+// retired and all stores have drained (the core has reached the barrier).
+func (c *Core) BeginPhase(idx int, done func()) {
+	c.phaseIdx = idx
+	c.phase = &c.prog.Phases[idx]
+	c.phaseDone = done
+	c.inflight, c.nextIter, c.retired = 0, 0, 0
+	c.issueReady = float64(c.eng.Now())
+	if c.phase.NumIters == 0 {
+		c.eng.Schedule(0, func(event.Cycle) { done() })
+		return
+	}
+	c.window = c.computeWindow()
+	if c.se != nil && len(c.phase.Loads) > 0 {
+		c.se.ConfigurePhase(c.ID, c.phase, func() { c.startIters() })
+		return
+	}
+	c.startIters()
+}
+
+// computeWindow derives the in-flight iteration bound from the pipeline
+// parameters: the ROB must hold every in-flight iteration's instructions,
+// and the in-order core overlaps at most the fetch of the next iteration.
+func (c *Core) computeWindow() int {
+	instrs := c.phase.InstrsPerIter
+	if instrs <= 0 {
+		instrs = 1
+	}
+	w := c.params.ROBSize / instrs
+	if w < 1 {
+		w = 1
+	}
+	if c.params.InOrder && w > 2 {
+		w = 2
+	}
+	return w
+}
+
+func (c *Core) startIters() {
+	for c.inflight < c.window && c.nextIter < c.phase.NumIters {
+		i := c.nextIter
+		c.nextIter++
+		c.inflight++
+		at := float64(c.eng.Now())
+		if c.issueReady > at {
+			at = c.issueReady
+		}
+		c.issueReady = at + float64(c.phase.InstrsPerIter)/float64(c.params.IssueWidth)
+		c.eng.At(event.Cycle(at), func(event.Cycle) { c.beginIter(i) })
+	}
+}
+
+// beginIter issues iteration i's loads.
+func (c *Core) beginIter(i int64) {
+	pending := 0
+	var onLoad func(event.Cycle)
+	complete := func() {
+		c.eng.Schedule(event.Cycle(c.phase.ComputeCycles), func(event.Cycle) { c.retire(i) })
+	}
+	onLoad = func(event.Cycle) {
+		pending--
+		if pending == 0 {
+			complete()
+		}
+	}
+
+	if c.se != nil {
+		for _, d := range c.phase.Loads {
+			pending++
+			start := c.eng.Now()
+			c.se.RequestElement(c.ID, d.ID, i, func(now event.Cycle) {
+				c.st.RecordLoadLatency(uint64(now - start))
+				onLoad(now)
+			})
+		}
+	} else {
+		// Plain core: affine loads issue immediately; indirect loads wait
+		// for their base stream's element value.
+		baseDone := make(map[int]func(event.Cycle)) // base id -> chained issue
+		for _, d := range c.phase.Loads {
+			d := d
+			if d.IsIndirect() {
+				pending++
+				base := c.findLoad(d.BaseOn)
+				prev := baseDone[d.BaseOn]
+				baseDone[d.BaseOn] = func(now event.Cycle) {
+					if prev != nil {
+						prev(now)
+					}
+					idx := c.bk.ReadU32(base.Affine.AddrAt(i))
+					c.plainLoad(d.Indirect.AddrFor(uint64(idx)), d.PC, d.ID, onLoad)
+				}
+			}
+		}
+		for _, d := range c.phase.Loads {
+			d := d
+			if d.IsIndirect() {
+				continue
+			}
+			pending++
+			chain := baseDone[d.ID]
+			cb := onLoad
+			if chain != nil {
+				cb = func(now event.Cycle) {
+					chain(now)
+					onLoad(now)
+				}
+			}
+			c.plainLoad(d.Affine.AddrAt(i), d.PC, d.ID, cb)
+		}
+	}
+
+	// Dependent pointer-chase loads execute sequentially.
+	if c.phase.SeqLoads != nil {
+		chainAddrs := c.phase.SeqLoads(i)
+		if len(chainAddrs) > 0 {
+			pending++
+			c.chaseChain(chainAddrs, 0, onLoad)
+		}
+	}
+
+	if pending == 0 {
+		complete()
+	}
+}
+
+// findLoad returns the load stream declaration with the given id.
+func (c *Core) findLoad(id int) *stream.Decl {
+	for k := range c.phase.Loads {
+		if c.phase.Loads[k].ID == id {
+			return &c.phase.Loads[k]
+		}
+	}
+	panic("cpu: indirect stream chained on missing base stream")
+}
+
+// chaseChain issues dependent loads one after another.
+func (c *Core) chaseChain(addrs []uint64, k int, done func(event.Cycle)) {
+	c.plainLoad(addrs[k], uint32(0xC0DE), -1, func(now event.Cycle) {
+		if k+1 < len(addrs) {
+			c.chaseChain(addrs, k+1, done)
+			return
+		}
+		done(now)
+	})
+}
+
+// plainLoad sends a demand load through the hierarchy, respecting the load
+// queue bound.
+func (c *Core) plainLoad(addr uint64, pc uint32, sid int, done func(event.Cycle)) {
+	issue := func() {
+		c.outLoads++
+		start := c.eng.Now()
+		c.mem.Access(c.ID, addr, cache.Read, cache.Meta{PC: pc, StreamID: sid}, func(now event.Cycle) {
+			c.outLoads--
+			c.st.RecordLoadLatency(uint64(now - start))
+			c.drainLoadQ()
+			done(now)
+		})
+	}
+	if c.outLoads >= c.params.LQSize {
+		c.loadQ = append(c.loadQ, issue)
+		return
+	}
+	issue()
+}
+
+func (c *Core) drainLoadQ() {
+	for len(c.loadQ) > 0 && c.outLoads < c.params.LQSize {
+		next := c.loadQ[0]
+		c.loadQ = c.loadQ[1:]
+		next()
+	}
+}
+
+// store sends a committed store, respecting the store-queue bound. Stores
+// are posted (they do not block retirement) but must drain before the
+// barrier.
+func (c *Core) store(addr uint64, pc uint32, sid int) {
+	issue := func() {
+		c.mem.Access(c.ID, addr, cache.Write, cache.Meta{PC: pc, StreamID: sid}, func(event.Cycle) {
+			c.outStores--
+			c.drainStoreQ()
+			c.maybeFinishPhase()
+		})
+	}
+	c.outStores++
+	if c.outStores > c.params.SQSize {
+		c.storeQ = append(c.storeQ, issue)
+		return
+	}
+	issue()
+}
+
+func (c *Core) drainStoreQ() {
+	if len(c.storeQ) > 0 {
+		next := c.storeQ[0]
+		c.storeQ = c.storeQ[1:]
+		next()
+	}
+}
+
+// retire completes iteration i: stores issue, stream elements release, and
+// the window advances.
+func (c *Core) retire(i int64) {
+	for _, d := range c.phase.Stores {
+		c.store(d.Affine.AddrAt(i), d.PC, d.ID)
+	}
+	if c.se != nil {
+		for _, d := range c.phase.Loads {
+			c.se.ReleaseElement(c.ID, d.ID, i)
+		}
+	}
+	c.inflight--
+	c.retired++
+	c.st.Iterations++
+	c.st.Instructions += uint64(c.phase.InstrsPerIter)
+	if c.retired == c.phase.NumIters {
+		if c.se != nil && len(c.phase.Loads) > 0 {
+			c.se.EndPhase(c.ID)
+		}
+		c.maybeFinishPhase()
+		return
+	}
+	c.startIters()
+}
+
+// Progress reports the core's execution state for diagnostics.
+func (c *Core) Progress() string {
+	if c.phase == nil {
+		return fmt.Sprintf("core %d: idle", c.ID)
+	}
+	return fmt.Sprintf("core %d: phase %d %q retired %d/%d inflight %d outLoads %d outStores %d loadQ %d",
+		c.ID, c.phaseIdx, c.phase.Name, c.retired, c.phase.NumIters, c.inflight, c.outLoads, c.outStores, len(c.loadQ))
+}
+
+// maybeFinishPhase signals the barrier once all work and stores complete.
+func (c *Core) maybeFinishPhase() {
+	if c.phase == nil || c.retired != c.phase.NumIters || c.outStores != 0 {
+		return
+	}
+	done := c.phaseDone
+	c.phaseDone = nil
+	if done != nil {
+		done()
+	}
+}

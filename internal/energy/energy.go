@@ -1,0 +1,132 @@
+// Package energy estimates energy and area in the spirit of the paper's
+// McPAT/CACTI 22 nm methodology: every counted event (instruction, cache
+// access, flit-hop, DRAM access, stream-engine access) carries a fixed
+// energy, plus per-cycle static power for cores and uncore. Absolute joules
+// are rough; the *relative* energy between configurations — what Fig 13 and
+// Fig 19 report — follows the event counts.
+package energy
+
+import (
+	"streamfloat/internal/config"
+	"streamfloat/internal/stats"
+)
+
+// Event energies in nanojoules (22 nm class estimates).
+const (
+	nJPerL1Access  = 0.05
+	nJPerL2Access  = 0.25
+	nJPerL3Access  = 0.65
+	nJPerDRAMLine  = 20.0
+	nJPerFlitHop   = 0.07 // 256-bit flit through router+link
+	nJPerSEAccess  = 0.02 // FIFO / SE_L2 / SE_L3 buffer access
+	nJPerTLBAccess = 0.01
+)
+
+// Per-instruction dynamic energy by core kind.
+func nJPerInstr(k config.CoreKind) float64 {
+	switch k {
+	case config.IO4:
+		return 0.08
+	case config.OOO4:
+		return 0.20
+	default:
+		return 0.30
+	}
+}
+
+// Per-cycle static (leakage + clock) power per core, in nJ/cycle.
+func nJStaticPerCycle(k config.CoreKind) float64 {
+	switch k {
+	case config.IO4:
+		return 0.03
+	case config.OOO4:
+		return 0.07
+	default:
+		return 0.11
+	}
+}
+
+// uncore static per tile (L2 slice, L3 bank, router), nJ/cycle.
+const nJUncoreStatic = 0.05
+
+// Apply computes total energy for a finished run and stores it in
+// st.EnergyJ.
+func Apply(st *stats.Stats, cfg config.Config) {
+	flitHops := float64(st.TotalFlitHops())
+	// Scale flit energy with link width (wider links move more bits per
+	// flit-hop).
+	flitScale := float64(cfg.LinkBits) / 256.0
+
+	nJ := 0.0
+	nJ += float64(st.Instructions) * nJPerInstr(cfg.Core)
+	nJ += float64(st.L1Hits+st.L1Misses) * nJPerL1Access
+	nJ += float64(st.L2Hits+st.L2Misses) * nJPerL2Access
+	nJ += float64(st.TotalL3Requests()) * nJPerL3Access
+	nJ += float64(st.DRAMReads+st.DRAMWrites) * nJPerDRAMLine
+	nJ += flitHops * nJPerFlitHop * flitScale
+	nJ += float64(st.SEFIFOAccesses+st.SEL2Accesses+st.SEL3Accesses) * nJPerSEAccess
+	nJ += float64(st.TLBTranslations) * nJPerTLBAccess
+	nJ += float64(st.Cycles) * float64(cfg.Tiles()) * (nJStaticPerCycle(cfg.Core) + nJUncoreStatic)
+	st.EnergyJ = nJ * 1e-9
+}
+
+// --- Area model (§VII-A) ---------------------------------------------------
+
+// SRAM area density at 22 nm, mm^2 per KiB, for small/medium arrays
+// (CACTI-class estimate used to reproduce the paper's area table).
+const mm2PerKiB = 0.00225
+
+// AreaBreakdown reports the stream-floating SRAM additions of one tile and
+// their relative overheads, reproducing the §VII-A numbers.
+type AreaBreakdown struct {
+	SEL3ConfigMM2   float64 // 48 kB stream configuration storage
+	SEL3TLBMM2      float64 // 1k-entry TLB
+	L3BankMM2       float64 // for the overhead ratio
+	SEL2BufferMM2   float64 // 16 kB stream data buffer
+	SEL2ConfigMM2   float64
+	L2MM2           float64
+	SECoreFIFOMM2   float64
+	CoreMM2         float64 // core + L1 area by kind
+	L3OverheadPct   float64
+	L2OverheadPct   float64
+	ChipOverheadPct float64
+}
+
+// coreArea returns per-core (pipeline + L1) area in mm^2 at 22 nm.
+func coreArea(k config.CoreKind) float64 {
+	switch k {
+	case config.IO4:
+		return 1.6
+	case config.OOO4:
+		return 3.4
+	default:
+		return 5.2
+	}
+}
+
+// Area computes the stream-floating area overheads for a configuration.
+func Area(cfg config.Config) AreaBreakdown {
+	var a AreaBreakdown
+	// SE_L3: 12 streams x tiles of configuration state (~64 B each) is
+	// 48 kB per bank for an 8x8 mesh, plus a 1k-entry TLB (~8 kB).
+	seL3ConfigKiB := float64(cfg.MaxStreamsPerCore*cfg.Tiles()) * 64 / 1024
+	a.SEL3ConfigMM2 = seL3ConfigKiB * mm2PerKiB
+	a.SEL3TLBMM2 = 8 * 2 * mm2PerKiB                                  // CAM-heavy: 2x SRAM density
+	a.L3BankMM2 = float64(cfg.L3.SizeBytes) / 1024 * mm2PerKiB * 1.45 // tag+ctl overhead
+	a.L3OverheadPct = 100 * (a.SEL3ConfigMM2 + a.SEL3TLBMM2) / a.L3BankMM2
+
+	a.SEL2BufferMM2 = float64(cfg.SEL2BufferBytes) / 1024 * mm2PerKiB * 2.5 // addr-tagged CAM
+	a.SEL2ConfigMM2 = 0.05
+	a.L2MM2 = float64(cfg.L2.SizeBytes) / 1024 * mm2PerKiB * 2.9 // incl. extended tags
+	a.L2OverheadPct = 100 * (a.SEL2BufferMM2 + a.SEL2ConfigMM2) / a.L2MM2
+
+	a.SECoreFIFOMM2 = float64(cfg.CoreParams().SEFIFOBytes) / 1024 * mm2PerKiB * 2
+	a.CoreMM2 = coreArea(cfg.Core)
+
+	// Router, memory-controller share and other per-tile uncore.
+	const uncoreMM2 = 10.0
+	tileBase := a.CoreMM2 + a.L2MM2 + a.L3BankMM2 + uncoreMM2
+	tileAdd := a.SEL3ConfigMM2 + a.SEL3TLBMM2 + a.SEL2BufferMM2 + a.SEL2ConfigMM2 + a.SECoreFIFOMM2
+	a.ChipOverheadPct = 100 * tileAdd / tileBase
+	return a
+}

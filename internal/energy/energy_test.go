@@ -1,0 +1,102 @@
+package energy
+
+import (
+	"testing"
+
+	"streamfloat/internal/config"
+	"streamfloat/internal/stats"
+)
+
+func TestApplyPositiveAndMonotonic(t *testing.T) {
+	cfg := config.Default()
+	st := &stats.Stats{Cycles: 1000, Instructions: 5000, L1Hits: 4000, L1Misses: 100}
+	Apply(st, cfg)
+	if st.EnergyJ <= 0 {
+		t.Fatal("energy not positive")
+	}
+	more := *st
+	more.DRAMReads = 10000
+	Apply(&more, cfg)
+	if more.EnergyJ <= st.EnergyJ {
+		t.Error("added DRAM accesses must cost energy")
+	}
+}
+
+func TestCoreKindEnergyOrdering(t *testing.T) {
+	st := stats.Stats{Cycles: 100000, Instructions: 1 << 20}
+	var e [3]float64
+	for i, k := range []config.CoreKind{config.IO4, config.OOO4, config.OOO8} {
+		cfg := config.Default()
+		cfg.Core = k
+		s := st
+		Apply(&s, cfg)
+		e[i] = s.EnergyJ
+	}
+	if !(e[0] < e[1] && e[1] < e[2]) {
+		t.Errorf("per-core energy not ordered IO4 < OOO4 < OOO8: %v", e)
+	}
+}
+
+func TestFlitEnergyScalesWithLinkWidth(t *testing.T) {
+	st := stats.Stats{Cycles: 1}
+	st.FlitHops[stats.ClassData] = 1 << 20
+	narrow := st
+	wide := st
+	cfgN := config.Default()
+	cfgN.LinkBits = 128
+	cfgW := config.Default()
+	cfgW.LinkBits = 512
+	Apply(&narrow, cfgN)
+	Apply(&wide, cfgW)
+	if wide.EnergyJ <= narrow.EnergyJ {
+		t.Error("wider flits must cost more per hop")
+	}
+}
+
+// TestAreaReproducesPaperTable checks §VII-A: SE_L3 config storage is 48 kB
+// (0.11 mm^2-ish), overheads ~4.5% of L3, ~9% of L2, and ~1.4-1.6% of chip.
+func TestAreaReproducesPaperTable(t *testing.T) {
+	a := Area(config.Default())
+	if a.SEL3ConfigMM2 < 0.08 || a.SEL3ConfigMM2 > 0.14 {
+		t.Errorf("SE_L3 config area = %.3f mm^2, paper ~0.11", a.SEL3ConfigMM2)
+	}
+	if a.SEL3TLBMM2 < 0.02 || a.SEL3TLBMM2 > 0.06 {
+		t.Errorf("SE_L3 TLB area = %.3f mm^2, paper ~0.04", a.SEL3TLBMM2)
+	}
+	if a.L3OverheadPct < 3 || a.L3OverheadPct > 6.5 {
+		t.Errorf("L3 overhead = %.1f%%, paper ~4.5%%", a.L3OverheadPct)
+	}
+	if a.SEL2BufferMM2 < 0.06 || a.SEL2BufferMM2 > 0.12 {
+		t.Errorf("SE_L2 buffer area = %.3f mm^2, paper ~0.09", a.SEL2BufferMM2)
+	}
+	if a.L2OverheadPct < 6 || a.L2OverheadPct > 12 {
+		t.Errorf("L2 overhead = %.1f%%, paper ~9%%", a.L2OverheadPct)
+	}
+	if a.ChipOverheadPct < 1.0 || a.ChipOverheadPct > 2.5 {
+		t.Errorf("chip overhead = %.2f%%, paper 1.4-1.6%%", a.ChipOverheadPct)
+	}
+}
+
+func TestAreaIO4SmallerCore(t *testing.T) {
+	io := Area(func() config.Config { c := config.Default(); c.Core = config.IO4; return c }())
+	ooo := Area(config.Default())
+	if io.CoreMM2 >= ooo.CoreMM2 {
+		t.Error("IO4 core must be smaller than OOO8")
+	}
+	if io.ChipOverheadPct <= ooo.ChipOverheadPct {
+		t.Error("relative overhead must be larger for the small core")
+	}
+}
+
+func TestSEAccountingCostsEnergy(t *testing.T) {
+	cfg := config.Default()
+	base := stats.Stats{Cycles: 1}
+	withSE := base
+	withSE.SEL2Accesses = 1 << 20
+	withSE.SEL3Accesses = 1 << 20
+	Apply(&base, cfg)
+	Apply(&withSE, cfg)
+	if withSE.EnergyJ <= base.EnergyJ {
+		t.Error("SE accesses must be accounted")
+	}
+}

@@ -1,0 +1,121 @@
+// Package event provides the discrete-event simulation kernel that drives
+// every timed component in the simulator: cores, caches, NoC routers, DRAM
+// controllers and stream engines all schedule callbacks on a shared Engine.
+//
+// The engine is single-threaded and deterministic: events at the same cycle
+// fire in the order they were scheduled (FIFO tie-breaking by sequence
+// number), so repeated runs of the same configuration produce identical
+// statistics.
+package event
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in core clock cycles.
+type Cycle uint64
+
+// Func is a callback executed when its event fires. The engine passes the
+// current cycle so handlers do not need to capture the engine.
+type Func func(now Cycle)
+
+type item struct {
+	when Cycle
+	seq  uint64
+	fn   Func
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(item)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	paused bool
+}
+
+// New returns an empty engine positioned at cycle 0.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current simulation cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Fired reports how many events have executed so far; useful for
+// instrumentation and runaway detection in tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of scheduled-but-unfired events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule arranges fn to run delay cycles from now. A zero delay runs fn
+// later in the current cycle, after all previously scheduled events for this
+// cycle.
+func (e *Engine) Schedule(delay Cycle, fn Func) {
+	e.At(e.now+delay, fn)
+}
+
+// At arranges fn to run at the given absolute cycle. Scheduling in the past
+// (when < Now) fires the event at the current cycle instead; this keeps
+// latency arithmetic in callers simple and can never move time backwards.
+func (e *Engine) At(when Cycle, fn Func) {
+	if when < e.now {
+		when = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, item{when: when, seq: e.seq, fn: fn})
+}
+
+// Step fires the single earliest event and returns true, or returns false if
+// the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.queue).(item)
+	e.now = it.when
+	e.fired++
+	it.fn(e.now)
+	return true
+}
+
+// Run executes events until the queue drains or until an event horizon of
+// maxCycles is crossed (0 means no horizon). It returns the final cycle.
+func (e *Engine) Run(maxCycles Cycle) Cycle {
+	for len(e.queue) > 0 {
+		if maxCycles != 0 && e.queue[0].when > maxCycles {
+			e.now = maxCycles
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}
+
+// RunUntil executes events while pred returns false, stopping as soon as it
+// returns true or the queue drains. pred is evaluated after every event.
+func (e *Engine) RunUntil(pred func() bool) Cycle {
+	for !pred() && e.Step() {
+	}
+	return e.now
+}

@@ -1,0 +1,203 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var e Engine
+	ran := false
+	e.Schedule(5, func(now Cycle) { ran = true })
+	e.Run(0)
+	if !ran {
+		t.Fatal("event did not fire")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %d, want 5", e.Now())
+	}
+}
+
+func TestFIFOWithinCycle(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(3, func(Cycle) { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; same-cycle events must fire FIFO", i, v)
+		}
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	e := New()
+	var fired []Cycle
+	delays := []Cycle{9, 1, 5, 5, 0, 100, 2}
+	for _, d := range delays {
+		e.Schedule(d, func(now Cycle) { fired = append(fired, now) })
+	}
+	e.Run(0)
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+	if len(fired) != len(delays) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(delays))
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	e := New()
+	e.Schedule(10, func(now Cycle) {
+		e.At(3, func(inner Cycle) {
+			if inner != 10 {
+				t.Errorf("past event fired at %d, want clamped to 10", inner)
+			}
+		})
+	})
+	e.Run(0)
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	depth := 0
+	var recurse Func
+	recurse = func(now Cycle) {
+		depth++
+		if depth < 100 {
+			e.Schedule(1, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run(0)
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 99 {
+		t.Fatalf("Now() = %d, want 99", e.Now())
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := New()
+	count := 0
+	var tick Func
+	tick = func(Cycle) {
+		count++
+		e.Schedule(10, tick)
+	}
+	e.Schedule(0, tick)
+	final := e.Run(55)
+	if final != 55 {
+		t.Fatalf("final = %d, want horizon 55", final)
+	}
+	if count != 6 { // fires at 0,10,20,30,40,50
+		t.Fatalf("count = %d, want 6", count)
+	}
+	if e.Pending() == 0 {
+		t.Fatal("horizon stop should leave the next event pending")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	count := 0
+	var tick Func
+	tick = func(Cycle) {
+		count++
+		e.Schedule(1, tick)
+	}
+	e.Schedule(0, tick)
+	e.RunUntil(func() bool { return count >= 7 })
+	if count != 7 {
+		t.Fatalf("count = %d, want 7", count)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 25; i++ {
+		e.Schedule(Cycle(i%4), func(Cycle) {})
+	}
+	e.Run(0)
+	if e.Fired() != 25 {
+		t.Fatalf("Fired() = %d, want 25", e.Fired())
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty queue must return false")
+	}
+}
+
+// Property: however events are scheduled, they are observed in nondecreasing
+// time order and every scheduled event fires exactly once.
+func TestPropertyOrderingAndCompleteness(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		total := int(n%64) + 1
+		var fired []Cycle
+		for i := 0; i < total; i++ {
+			e.Schedule(Cycle(rng.Intn(1000)), func(now Cycle) {
+				fired = append(fired, now)
+			})
+		}
+		e.Run(0)
+		if len(fired) != total {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: determinism — two identical schedules produce identical firing
+// sequences, including same-cycle tie-breaks.
+func TestPropertyDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		run := func() []int {
+			rng := rand.New(rand.NewSource(seed))
+			e := New()
+			var order []int
+			for i := 0; i < 50; i++ {
+				i := i
+				e.Schedule(Cycle(rng.Intn(10)), func(Cycle) { order = append(order, i) })
+			}
+			e.Run(0)
+			return order
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := New()
+	fn := func(Cycle) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Cycle(i%16), fn)
+		e.Step()
+	}
+}

@@ -1,0 +1,665 @@
+// Package experiments regenerates every table and figure of the paper's
+// motivation and evaluation sections. Each runner sweeps the relevant
+// configurations over the benchmark suite and reports the same rows/series
+// the paper presents (normalized the same way). Runs execute in parallel
+// across OS threads; each individual simulation is deterministic.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"streamfloat/internal/config"
+	"streamfloat/internal/energy"
+	"streamfloat/internal/stats"
+	"streamfloat/internal/system"
+	"streamfloat/internal/workload"
+)
+
+// Options selects the sweep size.
+type Options struct {
+	// Scale is the dataset scale factor (1.0 = calibrated defaults).
+	Scale float64
+	// Benchmarks restricts the suite (nil = all 12).
+	Benchmarks []string
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (o Options) benchmarks() []string {
+	if len(o.Benchmarks) > 0 {
+		return o.Benchmarks
+	}
+	return workload.Names()
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 0.25
+	}
+	return o.Scale
+}
+
+// Table is one regenerated figure/table, ready for text rendering.
+// Metrics carries the headline numbers in machine-readable form (used by
+// the bench harness to report them).
+type Table struct {
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Notes   []string
+	Metrics map[string]float64
+}
+
+func (t *Table) metric(name string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = map[string]float64{}
+	}
+	t.Metrics[name] = v
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintln(w, "note:", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// runKey identifies one simulation in a sweep.
+type runKey struct {
+	bench  string
+	system string
+	core   config.CoreKind
+	mutate func(*config.Config)
+}
+
+// runAll executes the given runs in parallel and returns results in input
+// order.
+func runAll(opts Options, keys []runKey) ([]system.Results, error) {
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	results := make([]system.Results, len(keys))
+	errs := make([]error, len(keys))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, k runKey) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg, err := config.ForSystem(k.system, k.core)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if k.mutate != nil {
+				k.mutate(&cfg)
+			}
+			results[i], errs[i] = system.RunBenchmark(cfg, k.bench, opts.scale())
+		}(i, k)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s/%v: %w", keys[i].bench, keys[i].system, keys[i].core, err)
+		}
+	}
+	return results, nil
+}
+
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vs)))
+}
+
+func pct(x float64) string  { return fmt.Sprintf("%.1f%%", 100*x) }
+func rat(x float64) string  { return fmt.Sprintf("%.2fx", x) }
+func flt3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// --- Fig 2: motivation -----------------------------------------------------
+
+// Fig02 reproduces the cache-thrashing motivation: the fraction of L2
+// evictions that are clean and never reused (and the stream-covered share),
+// and the fraction of NoC traffic attributable to caching unreused data.
+func Fig02(opts Options) (*Table, error) {
+	// The motivation numbers depend on per-core working sets exceeding the
+	// private L2, so this figure enforces a minimum dataset scale (use
+	// -scale 1 for the calibrated Table IV sizes).
+	if opts.Scale < 0.5 {
+		opts.Scale = 0.5
+	}
+	benches := opts.benchmarks()
+	keys := make([]runKey, len(benches))
+	for i, b := range benches {
+		keys[i] = runKey{bench: b, system: "Base", core: config.OOO8}
+	}
+	res, err := runAll(opts, keys)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fig 2: Overhead of Caching Data without Reuse (Base, OOO8)",
+		Header: []string{"benchmark", "evict-clean-noreuse", "of-which-stream", "unreused-traffic", "unreused-ctrl"},
+	}
+	var fracs, streams, traffic []float64
+	for i, r := range res {
+		s := r.Stats
+		evict := float64(s.L2Evictions)
+		if evict == 0 {
+			evict = 1
+		}
+		noReuse := float64(s.L2EvictCleanNoReuse) / evict
+		streamShare := float64(s.L2EvictCleanNoReuseStream) / evict
+		total := float64(s.TotalFlitHops())
+		if total == 0 {
+			total = 1
+		}
+		un := float64(s.UnreusedDataFlitHops+s.UnreusedCtrlFlitHops) / total
+		unCtrl := float64(s.UnreusedCtrlFlitHops) / total
+		fracs = append(fracs, noReuse)
+		streams = append(streams, streamShare)
+		traffic = append(traffic, un)
+		t.Rows = append(t.Rows, []string{benches[i], pct(noReuse), pct(streamShare), pct(un), pct(unCtrl)})
+	}
+	t.Rows = append(t.Rows, []string{"mean", pct(mean(fracs)), pct(mean(streams)), pct(mean(traffic)), ""})
+	t.metric("evict-clean-noreuse", mean(fracs))
+	t.metric("stream-covered", mean(streams))
+	t.metric("unreused-traffic", mean(traffic))
+	t.Notes = append(t.Notes,
+		"paper: 72% of L2 evictions are clean+unreused, 63% stream-covered; unreused data causes 50% of traffic (20% control)")
+	return t, nil
+}
+
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// --- Fig 13: overall speedup and energy efficiency --------------------------
+
+// Fig13 reproduces the headline comparison: speedup and energy efficiency
+// of Stride/Bingo/SS/SF over Base, for IO4, OOO4 and OOO8 cores.
+func Fig13(opts Options) (*Table, error) {
+	systems := []string{"Base", "Stride", "Bingo", "SS", "SF"}
+	cores := []config.CoreKind{config.IO4, config.OOO4, config.OOO8}
+	benches := opts.benchmarks()
+
+	var keys []runKey
+	for _, core := range cores {
+		for _, sys := range systems {
+			for _, b := range benches {
+				keys = append(keys, runKey{bench: b, system: sys, core: core})
+			}
+		}
+	}
+	res, err := runAll(opts, keys)
+	if err != nil {
+		return nil, err
+	}
+	at := func(ci, si, bi int) system.Results {
+		return res[(ci*len(systems)+si)*len(benches)+bi]
+	}
+	t := &Table{
+		Title:  "Fig 13: Overall Speedup and Energy Efficiency over Base",
+		Header: []string{"core", "system", "speedup(gm)", "energy-eff(gm)", "per-benchmark speedups"},
+	}
+	for ci, core := range cores {
+		for si, sys := range systems {
+			if sys == "Base" {
+				continue
+			}
+			var sp, ee []float64
+			var per []string
+			for bi, b := range benches {
+				base := at(ci, 0, bi).Stats
+				cur := at(ci, si, bi).Stats
+				s := float64(base.Cycles) / float64(cur.Cycles)
+				e := base.EnergyJ / cur.EnergyJ
+				sp = append(sp, s)
+				ee = append(ee, e)
+				per = append(per, fmt.Sprintf("%s=%.2f", b, s))
+			}
+			t.Rows = append(t.Rows, []string{
+				core.String(), sys, rat(geomean(sp)), rat(geomean(ee)), strings.Join(per, " "),
+			})
+			t.metric(sys+"-"+core.String()+"-speedup", geomean(sp))
+			t.metric(sys+"-"+core.String()+"-energy-eff", geomean(ee))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: SF speedup 3.20x (IO4) / 1.41x-rel (OOO4) / 1.39x (OOO8) incl. prefetcher baselines; SS-IO4 1.95x, BG-IO4 2.10x",
+		"paper: SF beats SS by 64% (IO4), 37% (OOO4), 31% (OOO8)")
+	return t, nil
+}
+
+// --- Fig 14: floating requests ----------------------------------------------
+
+// Fig14 breaks L3 requests down by origin for SF on OOO8.
+func Fig14(opts Options) (*Table, error) {
+	benches := opts.benchmarks()
+	keys := make([]runKey, len(benches))
+	for i, b := range benches {
+		keys[i] = runKey{bench: b, system: "SF", core: config.OOO8}
+	}
+	res, err := runAll(opts, keys)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fig 14: Requests to L3 of SF-OOO8, by origin",
+		Header: []string{"benchmark", "core-normal", "core-stream", "float-affine", "float-indirect", "float-confluence", "floated-total"},
+	}
+	var floatedShare []float64
+	for i, r := range res {
+		s := r.Stats
+		tot := float64(s.TotalL3Requests())
+		if tot == 0 {
+			tot = 1
+		}
+		f := func(k stats.L3ReqKind) float64 { return float64(s.L3Requests[k]) / tot }
+		floated := f(stats.L3FloatAffine) + f(stats.L3FloatIndirect) + f(stats.L3FloatConfluence)
+		floatedShare = append(floatedShare, floated)
+		t.Rows = append(t.Rows, []string{
+			benches[i],
+			pct(f(stats.L3CoreNormal)), pct(f(stats.L3CoreStream)),
+			pct(f(stats.L3FloatAffine)), pct(f(stats.L3FloatIndirect)),
+			pct(f(stats.L3FloatConfluence)), pct(floated),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"mean", "", "", "", "", "", pct(mean(floatedShare))})
+	t.metric("floated-share", mean(floatedShare))
+	t.Notes = append(t.Notes, "paper: 68% of L3 requests are SE_L3-generated; 50% affine, 5% indirect; conv3d confluence ~51%")
+	return t, nil
+}
+
+// --- Fig 15: NoC traffic ----------------------------------------------------
+
+// Fig15 reports NoC flit-hops by message class, normalized to Base, plus
+// average network utilization, across the prefetchers (with and without
+// bulk), SS, and the SF ablations.
+func Fig15(opts Options) (*Table, error) {
+	type variant struct {
+		label  string
+		system string
+		mutate func(*config.Config)
+	}
+	variants := []variant{
+		{"Base", "Base", nil},
+		{"Stride", "Stride", nil},
+		{"Stride+bulk", "Stride", func(c *config.Config) { c.BulkPrefetch = true; c.L3InterleaveBytes = 1024 }},
+		{"Bingo", "Bingo", nil},
+		{"Bingo+bulk", "Bingo", func(c *config.Config) { c.BulkPrefetch = true; c.L3InterleaveBytes = 1024 }},
+		{"SS", "SS", nil},
+		{"SF-Aff", "SF-Aff", nil},
+		{"SF-Ind", "SF-Ind", nil},
+		{"SF", "SF", nil},
+	}
+	benches := opts.benchmarks()
+	var keys []runKey
+	for _, v := range variants {
+		for _, b := range benches {
+			keys = append(keys, runKey{bench: b, system: v.system, core: config.OOO8, mutate: v.mutate})
+		}
+	}
+	res, err := runAll(opts, keys)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fig 15: OOO8 NoC traffic (flit-hops normalized to Base) and utilization",
+		Header: []string{"variant", "total", "ctrl-req+coh", "data", "stream-mgmt", "utilization"},
+	}
+	for vi, v := range variants {
+		var tot, ctrl, data, mgmt, util []float64
+		for bi := range benches {
+			base := res[bi].Stats
+			cur := res[vi*len(benches)+bi].Stats
+			bTot := float64(base.TotalFlitHops())
+			if bTot == 0 {
+				bTot = 1
+			}
+			tot = append(tot, float64(cur.TotalFlitHops())/bTot)
+			ctrl = append(ctrl, float64(cur.FlitHops[stats.ClassCtrlReq]+cur.FlitHops[stats.ClassCtrlCoh])/bTot)
+			data = append(data, float64(cur.FlitHops[stats.ClassData])/bTot)
+			mgmt = append(mgmt, float64(cur.FlitHops[stats.ClassStream])/bTot)
+			util = append(util, cur.NoCUtilization(res[vi*len(benches)+bi].NumLinks))
+		}
+		t.Rows = append(t.Rows, []string{
+			v.label, flt3(mean(tot)), flt3(mean(ctrl)), flt3(mean(data)), flt3(mean(mgmt)), pct(mean(util)),
+		})
+		t.metric(v.label+"-traffic", mean(tot))
+		t.metric(v.label+"-utilization", mean(util))
+	}
+	t.Notes = append(t.Notes,
+		"paper: Bingo +34% traffic, bulk -6%, SF-Aff -30%, SF -36%; stream mgmt overhead ~2%; utilization 35% (Bingo) -> 25% (SF)")
+	return t, nil
+}
+
+// --- Fig 16: link-width sensitivity ------------------------------------------
+
+// Fig16 compares SF and Bingo at 128/256/512-bit links, normalized to
+// Bingo with 128-bit links.
+func Fig16(opts Options) (*Table, error) {
+	widths := []int{128, 256, 512}
+	systems := []string{"Bingo", "SF"}
+	benches := opts.benchmarks()
+	var keys []runKey
+	for _, w := range widths {
+		for _, sys := range systems {
+			for _, b := range benches {
+				w := w
+				keys = append(keys, runKey{bench: b, system: sys, core: config.OOO8,
+					mutate: func(c *config.Config) { c.LinkBits = w }})
+			}
+		}
+	}
+	res, err := runAll(opts, keys)
+	if err != nil {
+		return nil, err
+	}
+	at := func(wi, si, bi int) system.Results {
+		return res[(wi*len(systems)+si)*len(benches)+bi]
+	}
+	t := &Table{
+		Title:  "Fig 16: SF vs Bingo with 128/256/512-bit links (normalized to Bingo-128)",
+		Header: []string{"link", "Bingo", "SF", "SF/Bingo"},
+	}
+	for wi, w := range widths {
+		var bg, sf []float64
+		for bi := range benches {
+			ref := float64(at(0, 0, bi).Stats.Cycles)
+			bg = append(bg, ref/float64(at(wi, 0, bi).Stats.Cycles))
+			sf = append(sf, ref/float64(at(wi, 1, bi).Stats.Cycles))
+		}
+		gBg, gSf := geomean(bg), geomean(sf)
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d-bit", w), rat(gBg), rat(gSf), rat(gSf / gBg)})
+		t.metric(fmt.Sprintf("SF-over-Bingo-%dbit", w), gSf/gBg)
+	}
+	t.Notes = append(t.Notes, "paper: SF/Bingo grows from 1.34x at 128-bit to 1.43x at 512-bit")
+	return t, nil
+}
+
+// --- Fig 17: NUCA interleaving ------------------------------------------------
+
+// Fig17 sweeps the static-NUCA interleaving granularity for Bingo and SF,
+// normalized to Bingo-64B.
+func Fig17(opts Options) (*Table, error) {
+	grains := []int{64, 256, 1024, 4096}
+	systems := []string{"Bingo", "SF"}
+	benches := opts.benchmarks()
+	var keys []runKey
+	for _, g := range grains {
+		for _, sys := range systems {
+			for _, b := range benches {
+				g := g
+				keys = append(keys, runKey{bench: b, system: sys, core: config.OOO8,
+					mutate: func(c *config.Config) { c.L3InterleaveBytes = g }})
+			}
+		}
+	}
+	res, err := runAll(opts, keys)
+	if err != nil {
+		return nil, err
+	}
+	at := func(gi, si, bi int) system.Results {
+		return res[(gi*len(systems)+si)*len(benches)+bi]
+	}
+	t := &Table{
+		Title:  "Fig 17: NUCA interleaving granularity (normalized to Bingo-64B)",
+		Header: []string{"interleave", "Bingo", "SF", "SF stream-ctrl traffic"},
+	}
+	for gi, g := range grains {
+		var bg, sf, mgmt []float64
+		for bi := range benches {
+			ref := float64(at(0, 0, bi).Stats.Cycles)
+			bg = append(bg, ref/float64(at(gi, 0, bi).Stats.Cycles))
+			sfr := at(gi, 1, bi)
+			sf = append(sf, ref/float64(sfr.Stats.Cycles))
+			tot := float64(sfr.Stats.TotalFlitHops())
+			if tot == 0 {
+				tot = 1
+			}
+			mgmt = append(mgmt, float64(sfr.Stats.FlitHops[stats.ClassStream])/tot)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dB", g), rat(geomean(bg)), rat(geomean(sf)), pct(mean(mgmt)),
+		})
+		t.metric(fmt.Sprintf("SF-%dB", g), geomean(sf))
+		t.metric(fmt.Sprintf("Bingo-%dB", g), geomean(bg))
+	}
+	t.Notes = append(t.Notes,
+		"paper: SF best at 1kB; Bingo-4kB 0.93x of Bingo-64B (hotspots); SF-64B pays 12% stream-control traffic yet still cuts total by 22%")
+	return t, nil
+}
+
+// --- Fig 18: core scaling -----------------------------------------------------
+
+// Fig18 scales the mesh (4x4, 4x8, 8x8) and reports SF's speedup over SS
+// plus SS's private/shared hit rates.
+func Fig18(opts Options) (*Table, error) {
+	meshes := []struct{ w, h int }{{4, 4}, {4, 8}, {8, 8}}
+	systems := []string{"SS", "SF"}
+	benches := opts.benchmarks()
+	var keys []runKey
+	for _, m := range meshes {
+		for _, sys := range systems {
+			for _, b := range benches {
+				m := m
+				keys = append(keys, runKey{bench: b, system: sys, core: config.OOO8,
+					mutate: func(c *config.Config) { c.MeshWidth, c.MeshHeight = m.w, m.h }})
+			}
+		}
+	}
+	res, err := runAll(opts, keys)
+	if err != nil {
+		return nil, err
+	}
+	at := func(mi, si, bi int) system.Results {
+		return res[(mi*len(systems)+si)*len(benches)+bi]
+	}
+	t := &Table{
+		Title:  "Fig 18: Core scaling - SF speedup over SS",
+		Header: []string{"mesh", "SF/SS (gm)", "SS L2 hit", "SS L3 hit"},
+	}
+	for mi, m := range meshes {
+		var sp, l2hit, l3hit []float64
+		for bi := range benches {
+			ss := at(mi, 0, bi).Stats
+			sf := at(mi, 1, bi).Stats
+			sp = append(sp, float64(ss.Cycles)/float64(sf.Cycles))
+			if acc := ss.L2Hits + ss.L2Misses; acc > 0 {
+				l2hit = append(l2hit, float64(ss.L2Hits)/float64(acc))
+			}
+			if acc := ss.L3Hits + ss.L3Misses; acc > 0 {
+				l3hit = append(l3hit, float64(ss.L3Hits)/float64(acc))
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx%d", m.w, m.h), rat(geomean(sp)), pct(mean(l2hit)), pct(mean(l3hit)),
+		})
+		t.metric(fmt.Sprintf("SF-over-SS-%dx%d", m.w, m.h), geomean(sp))
+	}
+	t.Notes = append(t.Notes, "paper: SF/SS 1.30x at 4x4 rising slightly to 1.32x at 8x8")
+	return t, nil
+}
+
+// --- Fig 19: energy vs speedup -------------------------------------------------
+
+// Fig19 produces the energy-vs-speedup scatter: one point per (core,
+// system), both axes normalized to Base-IO4.
+func Fig19(opts Options) (*Table, error) {
+	systems := []string{"Base", "Stride", "Bingo", "SS", "SF"}
+	cores := []config.CoreKind{config.IO4, config.OOO4, config.OOO8}
+	benches := opts.benchmarks()
+	var keys []runKey
+	for _, core := range cores {
+		for _, sys := range systems {
+			for _, b := range benches {
+				keys = append(keys, runKey{bench: b, system: sys, core: core})
+			}
+		}
+	}
+	res, err := runAll(opts, keys)
+	if err != nil {
+		return nil, err
+	}
+	at := func(ci, si, bi int) system.Results {
+		return res[(ci*len(systems)+si)*len(benches)+bi]
+	}
+	t := &Table{
+		Title:  "Fig 19: Energy vs Speedup (normalized to Base-IO4)",
+		Header: []string{"point", "speedup(gm)", "energy(gm)"},
+	}
+	type pt struct {
+		label  string
+		sp, en float64
+	}
+	var pts []pt
+	for ci, core := range cores {
+		for si, sys := range systems {
+			var sp, en []float64
+			for bi := range benches {
+				ref := at(0, 0, bi).Stats
+				cur := at(ci, si, bi).Stats
+				sp = append(sp, float64(ref.Cycles)/float64(cur.Cycles))
+				en = append(en, cur.EnergyJ/ref.EnergyJ)
+			}
+			pts = append(pts, pt{fmt.Sprintf("%s-%s", sys, core), geomean(sp), geomean(en)})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].sp < pts[j].sp })
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{p.label, rat(p.sp), flt3(p.en)})
+		t.metric(p.label+"-speedup", p.sp)
+		t.metric(p.label+"-energy", p.en)
+	}
+	t.Notes = append(t.Notes, "paper: SF-IO4 outperforms SS-OOO8 at much lower energy")
+	return t, nil
+}
+
+// --- Area table ------------------------------------------------------------------
+
+// AreaTable reproduces the §VII-A area-overhead numbers.
+func AreaTable() *Table {
+	t := &Table{
+		Title:  "Area overheads (22nm, per tile) - section VII-A",
+		Header: []string{"core", "SE_L3 cfg", "SE_L3 TLB", "L3 ovh", "SE_L2 buf", "L2 ovh", "chip ovh"},
+	}
+	for _, core := range []config.CoreKind{config.IO4, config.OOO8} {
+		cfg := config.Default()
+		cfg.Core = core
+		a := energy.Area(cfg)
+		t.Rows = append(t.Rows, []string{
+			core.String(),
+			fmt.Sprintf("%.2fmm2", a.SEL3ConfigMM2),
+			fmt.Sprintf("%.2fmm2", a.SEL3TLBMM2),
+			pct(a.L3OverheadPct / 100),
+			fmt.Sprintf("%.2fmm2", a.SEL2BufferMM2),
+			pct(a.L2OverheadPct / 100),
+			pct(a.ChipOverheadPct / 100),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: SE_L3 48kB=0.11mm2 + 1k TLB=0.04mm2 (4.5% of L3); 9% of L2; chip 1.6% (IO4) / 1.4% (OOO8)")
+	return t
+}
+
+// All runs every experiment in paper order, writing rendered tables to w.
+func All(opts Options, w io.Writer) error {
+	runners := []struct {
+		name string
+		fn   func(Options) (*Table, error)
+	}{
+		{"fig2", Fig02}, {"fig13", Fig13}, {"fig14", Fig14}, {"fig15", Fig15},
+		{"fig16", Fig16}, {"fig17", Fig17}, {"fig18", Fig18}, {"fig19", Fig19},
+	}
+	for _, r := range runners {
+		t, err := r.fn(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		t.Fprint(w)
+	}
+	AreaTable().Fprint(w)
+	if t, err := Ablations(opts); err == nil {
+		t.Fprint(w)
+	} else {
+		return fmt.Errorf("ablations: %w", err)
+	}
+	return nil
+}
+
+// ByName returns the runner for a figure id ("2", "13", ... or "area").
+func ByName(id string) (func(Options) (*Table, error), bool) {
+	switch id {
+	case "2", "fig2":
+		return Fig02, true
+	case "13", "fig13":
+		return Fig13, true
+	case "14", "fig14":
+		return Fig14, true
+	case "15", "fig15":
+		return Fig15, true
+	case "16", "fig16":
+		return Fig16, true
+	case "17", "fig17":
+		return Fig17, true
+	case "18", "fig18":
+		return Fig18, true
+	case "19", "fig19":
+		return Fig19, true
+	case "area":
+		return func(Options) (*Table, error) { return AreaTable(), nil }, true
+	case "ablations":
+		return Ablations, true
+	}
+	return nil, false
+}

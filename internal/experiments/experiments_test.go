@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamfloat/internal/config"
+)
+
+// tinyOpts keeps experiment tests fast: a benchmark subset at small scale.
+// Mesh sizes stay as each figure dictates.
+func tinyOpts() Options {
+	return Options{Scale: 0.05, Benchmarks: []string{"nn", "conv3d"}}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tb := &Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n"},
+	}
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== T ==", "333", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g != 4 {
+		t.Errorf("geomean = %v", g)
+	}
+	if geomean(nil) != 0 {
+		t.Error("empty geomean must be 0")
+	}
+	if geomean([]float64{1, 0}) != 0 {
+		t.Error("non-positive values must yield 0")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, id := range []string{"2", "13", "14", "15", "16", "17", "18", "19", "area", "fig13"} {
+		if _, ok := ByName(id); !ok {
+			t.Errorf("ByName(%q) missing", id)
+		}
+	}
+	for _, id := range []string{"ablations"} {
+		if _, ok := ByName(id); !ok {
+			t.Errorf("ByName(%q) missing", id)
+		}
+	}
+	if _, ok := ByName("20"); ok {
+		t.Error("ByName accepted an unknown figure")
+	}
+}
+
+func TestAreaTable(t *testing.T) {
+	tb := AreaTable()
+	if len(tb.Rows) != 2 {
+		t.Fatalf("area rows = %d", len(tb.Rows))
+	}
+}
+
+func TestFig13Tiny(t *testing.T) {
+	tb, err := Fig13(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 cores x 4 non-base systems.
+	if len(tb.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Metrics["SF-IO4-speedup"] <= 0 {
+		t.Error("missing SF-IO4 speedup metric")
+	}
+	// The qualitative headline at any scale: SF-IO4 beats Base-IO4.
+	if tb.Metrics["SF-IO4-speedup"] < 1.0 {
+		t.Errorf("SF-IO4 speedup %.2f < 1", tb.Metrics["SF-IO4-speedup"])
+	}
+}
+
+func TestFig14Tiny(t *testing.T) {
+	tb, err := Fig14(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Metrics["floated-share"] <= 0 {
+		t.Error("no floated requests measured")
+	}
+}
+
+func TestFig15Tiny(t *testing.T) {
+	tb, err := Fig15(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 9 {
+		t.Fatalf("variants = %d", len(tb.Rows))
+	}
+	if tb.Metrics["Base-traffic"] != 1.0 {
+		t.Errorf("Base traffic normalization = %v", tb.Metrics["Base-traffic"])
+	}
+	if tb.Metrics["SF-traffic"] >= tb.Metrics["Base-traffic"] {
+		t.Errorf("SF traffic %.3f not below Base", tb.Metrics["SF-traffic"])
+	}
+}
+
+func TestFig16Tiny(t *testing.T) {
+	tb, err := Fig16(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestFig17Tiny(t *testing.T) {
+	tb, err := Fig17(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, g := range []string{"64", "256", "1024", "4096"} {
+		if tb.Metrics["SF-"+g+"B"] <= 0 {
+			t.Errorf("missing SF-%sB metric", g)
+		}
+	}
+}
+
+func TestFig18Tiny(t *testing.T) {
+	tb, err := Fig18(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Metrics["SF-over-SS-8x8"] <= 0 {
+		t.Error("missing 8x8 metric")
+	}
+}
+
+func TestFig19Tiny(t *testing.T) {
+	tb, err := Fig19(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 15 {
+		t.Fatalf("points = %d", len(tb.Rows))
+	}
+	// Both axes must be populated for every point.
+	if tb.Metrics["Base-OOO8-energy"] <= 0 || tb.Metrics["SF-IO4-speedup"] <= 0 {
+		t.Error("missing scatter metrics")
+	}
+	if tb.Metrics["Base-IO4-speedup"] != 1.0 {
+		t.Errorf("reference point speedup = %v, want 1", tb.Metrics["Base-IO4-speedup"])
+	}
+}
+
+func TestRunAllPropagatesErrors(t *testing.T) {
+	_, err := runAll(tinyOpts(), []runKey{{bench: "missing", system: "Base", core: config.OOO8}})
+	if err == nil {
+		t.Error("unknown benchmark not reported")
+	}
+	_, err = runAll(tinyOpts(), []runKey{{bench: "nn", system: "wat", core: config.OOO8}})
+	if err == nil {
+		t.Error("unknown system not reported")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := &Table{
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"x", "1"}, {"y", "2"}},
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nx,1\ny,2\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestChart(t *testing.T) {
+	tb := &Table{Metrics: map[string]float64{
+		"SF-IO4-speedup":  3.2,
+		"SS-IO4-speedup":  1.9,
+		"Base-IO4-energy": 1.0,
+	}}
+	var buf bytes.Buffer
+	tb.Chart(&buf, "speedup", 20)
+	out := buf.String()
+	if !strings.Contains(out, "SF-IO4") || !strings.Contains(out, "####") {
+		t.Errorf("chart output:\n%s", out)
+	}
+	if strings.Contains(out, "energy") {
+		t.Error("chart leaked non-matching metrics")
+	}
+	var empty bytes.Buffer
+	tb.Chart(&empty, "nothing", 20)
+	if empty.Len() != 0 {
+		t.Error("empty suffix must render nothing")
+	}
+}

@@ -1,0 +1,118 @@
+// Package mem provides the functional backing store and the DRAM timing
+// model. The backing store holds real bytes so that indirect streams
+// (B[A[i]]) chase genuine index values: the timing model decides *when* a
+// value arrives, the backing store decides *what* the value is.
+package mem
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+const pageShift = 12 // 4 KiB pages
+
+// Backing is a sparse byte-addressable memory. The zero value is empty and
+// ready to use. Reads of unwritten memory return zeros, like freshly mapped
+// anonymous pages.
+type Backing struct {
+	pages map[uint64]*[1 << pageShift]byte
+	brk   uint64 // bump allocator cursor
+}
+
+// NewBacking returns an empty backing store whose allocator starts at a
+// nonzero base (so address 0 is never a valid array base).
+func NewBacking() *Backing {
+	return &Backing{pages: make(map[uint64]*[1 << pageShift]byte), brk: 1 << 20}
+}
+
+// Alloc reserves size bytes aligned to align (which must be a power of two;
+// 0 means 64-byte line alignment) and returns the base address.
+func (b *Backing) Alloc(size uint64, align uint64) uint64 {
+	if align == 0 {
+		align = 64
+	}
+	b.brk = (b.brk + align - 1) &^ (align - 1)
+	base := b.brk
+	b.brk += size
+	return base
+}
+
+func (b *Backing) page(addr uint64) *[1 << pageShift]byte {
+	pn := addr >> pageShift
+	p := b.pages[pn]
+	if p == nil {
+		p = new([1 << pageShift]byte)
+		b.pages[pn] = p
+	}
+	return p
+}
+
+// Load8 returns the byte at addr.
+func (b *Backing) Load8(addr uint64) byte {
+	pn := addr >> pageShift
+	p := b.pages[pn]
+	if p == nil {
+		return 0
+	}
+	return p[addr&(1<<pageShift-1)]
+}
+
+// Store8 stores v at addr.
+func (b *Backing) Store8(addr uint64, v byte) {
+	b.page(addr)[addr&(1<<pageShift-1)] = v
+}
+
+// Read copies len(dst) bytes starting at addr into dst.
+func (b *Backing) Read(addr uint64, dst []byte) {
+	for i := range dst {
+		dst[i] = b.Load8(addr + uint64(i))
+	}
+}
+
+// Write copies src into memory starting at addr.
+func (b *Backing) Write(addr uint64, src []byte) {
+	for i, v := range src {
+		b.Store8(addr+uint64(i), v)
+	}
+}
+
+// ReadU32 loads a little-endian uint32.
+func (b *Backing) ReadU32(addr uint64) uint32 {
+	var buf [4]byte
+	b.Read(addr, buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// WriteU32 stores a little-endian uint32.
+func (b *Backing) WriteU32(addr uint64, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	b.Write(addr, buf[:])
+}
+
+// ReadU64 loads a little-endian uint64.
+func (b *Backing) ReadU64(addr uint64) uint64 {
+	var buf [8]byte
+	b.Read(addr, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// WriteU64 stores a little-endian uint64.
+func (b *Backing) WriteU64(addr uint64, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	b.Write(addr, buf[:])
+}
+
+// ReadF32 loads a float32.
+func (b *Backing) ReadF32(addr uint64) float32 {
+	return math.Float32frombits(b.ReadU32(addr))
+}
+
+// WriteF32 stores a float32.
+func (b *Backing) WriteF32(addr uint64, v float32) {
+	b.WriteU32(addr, math.Float32bits(v))
+}
+
+// Pages reports how many distinct pages have been touched.
+func (b *Backing) Pages() int { return len(b.pages) }

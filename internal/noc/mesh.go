@@ -1,0 +1,217 @@
+// Package noc models the on-chip interconnect: a 2D mesh with X-Y dimension-
+// order routing, 5-stage routers, single-cycle links, bandwidth-limited link
+// occupancy, flit serialization by link width, and hardware multicast trees
+// (used by stream confluence). It accounts traffic as flits and flit-hops by
+// message class — the metric Fig 15 reports.
+package noc
+
+import (
+	"fmt"
+
+	"streamfloat/internal/event"
+	"streamfloat/internal/stats"
+)
+
+// HeaderBytes is the per-packet header (routing, type, ids). Every message
+// pays it before payload serialization.
+const HeaderBytes = 8
+
+// Direction of a mesh link leaving a router.
+type direction int
+
+const (
+	dirEast direction = iota
+	dirWest
+	dirNorth
+	dirSouth
+	numDirs
+)
+
+// Mesh is the on-chip network. All methods must be called from the event
+// loop goroutine.
+type Mesh struct {
+	eng       *event.Engine
+	st        *stats.Stats
+	w, h      int
+	linkBits  int
+	routerLat event.Cycle
+	linkLat   event.Cycle
+
+	// linkFree[tile*numDirs+dir] is the first cycle at which the directed
+	// link leaving tile in dir can accept a new head flit.
+	linkFree []event.Cycle
+	numLinks int
+}
+
+// New builds a w x h mesh with the given link width in bits and per-hop
+// router/link latencies.
+func New(eng *event.Engine, st *stats.Stats, w, h, linkBits, routerLat, linkLat int) *Mesh {
+	if w <= 0 || h <= 0 {
+		panic("noc: mesh dimensions must be positive")
+	}
+	m := &Mesh{
+		eng:       eng,
+		st:        st,
+		w:         w,
+		h:         h,
+		linkBits:  linkBits,
+		routerLat: event.Cycle(routerLat),
+		linkLat:   event.Cycle(linkLat),
+		linkFree:  make([]event.Cycle, w*h*int(numDirs)),
+	}
+	m.numLinks = 2 * ((w-1)*h + w*(h-1))
+	return m
+}
+
+// NumLinks reports the number of unidirectional links, for utilization math.
+func (m *Mesh) NumLinks() int { return m.numLinks }
+
+// Tiles reports the number of routers.
+func (m *Mesh) Tiles() int { return m.w * m.h }
+
+// Coord converts a tile index to (x, y).
+func (m *Mesh) Coord(tile int) (x, y int) { return tile % m.w, tile / m.w }
+
+// TileAt converts (x, y) to a tile index.
+func (m *Mesh) TileAt(x, y int) int { return y*m.w + x }
+
+// Hops returns the Manhattan distance between two tiles.
+func (m *Mesh) Hops(src, dst int) int {
+	sx, sy := m.Coord(src)
+	dx, dy := m.Coord(dst)
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+// Flits returns the number of flits a message with the given payload
+// occupies on this mesh's links (header included).
+func (m *Mesh) Flits(payloadBytes int) int {
+	bits := (HeaderBytes + payloadBytes) * 8
+	f := (bits + m.linkBits - 1) / m.linkBits
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// path returns the X-Y route from src to dst as a sequence of directed link
+// indices (each link identified by its source router and exit direction).
+// An empty path means src == dst.
+func (m *Mesh) path(src, dst int) []int {
+	links := make([]int, 0, m.Hops(src, dst))
+	x, y := m.Coord(src)
+	dx, dy := m.Coord(dst)
+	for x != dx {
+		from := m.TileAt(x, y)
+		if dx > x {
+			links = append(links, from*int(numDirs)+int(dirEast))
+			x++
+		} else {
+			links = append(links, from*int(numDirs)+int(dirWest))
+			x--
+		}
+	}
+	for y != dy {
+		from := m.TileAt(x, y)
+		if dy > y {
+			links = append(links, from*int(numDirs)+int(dirSouth))
+			y++
+		} else {
+			links = append(links, from*int(numDirs)+int(dirNorth))
+			y--
+		}
+	}
+	return links
+}
+
+// Send routes one message and invokes deliver at arrival. Bandwidth is
+// modeled by reserving each traversed link for the message's flit count;
+// latency is per-hop router+link plus serialization of the tail.
+func (m *Mesh) Send(src, dst int, class stats.MsgClass, payloadBytes int, deliver func(event.Cycle)) {
+	flits := m.Flits(payloadBytes)
+	m.st.Messages[class]++
+	if src == dst {
+		// Local delivery through the tile's crossbar: one cycle, no link
+		// traffic.
+		m.eng.Schedule(1, deliver)
+		return
+	}
+	m.st.Flits[class] += uint64(flits)
+	arrive := m.eng.Now()
+	for _, l := range m.path(src, dst) {
+		start := arrive
+		if m.linkFree[l] > start {
+			start = m.linkFree[l]
+		}
+		m.linkFree[l] = start + event.Cycle(flits)
+		m.st.FlitHops[class] += uint64(flits)
+		m.st.LinkBusy += uint64(flits)
+		arrive = start + m.routerLat + m.linkLat
+	}
+	arrive += event.Cycle(flits - 1) // tail serialization at ejection
+	m.eng.At(arrive, deliver)
+}
+
+// Multicast routes one message to several destinations over a shared X-Y
+// tree: links common to multiple destinations carry the flits once. deliver
+// is invoked once per destination with that destination's arrival time.
+func (m *Mesh) Multicast(src int, dsts []int, class stats.MsgClass, payloadBytes int, deliver func(dst int, now event.Cycle)) {
+	if len(dsts) == 0 {
+		return
+	}
+	if len(dsts) == 1 {
+		d := dsts[0]
+		m.Send(src, d, class, payloadBytes, func(now event.Cycle) { deliver(d, now) })
+		return
+	}
+	flits := m.Flits(payloadBytes)
+	m.st.Messages[class]++
+	m.st.Flits[class] += uint64(flits)
+	// Union of links across destination paths; each tree link carries the
+	// flits exactly once.
+	seen := make(map[int]event.Cycle) // link -> arrival at link head
+	var unicastHops, treeHops int
+	for _, dst := range dsts {
+		if dst == src {
+			m.eng.Schedule(1, func(now event.Cycle) { deliver(dst, now) })
+			continue
+		}
+		arrive := m.eng.Now()
+		for _, l := range m.path(src, dst) {
+			unicastHops++
+			if a, ok := seen[l]; ok {
+				// Link already reserved by an earlier branch of the tree;
+				// reuse its timing.
+				arrive = a
+				continue
+			}
+			treeHops++
+			start := arrive
+			if m.linkFree[l] > start {
+				start = m.linkFree[l]
+			}
+			m.linkFree[l] = start + event.Cycle(flits)
+			m.st.FlitHops[class] += uint64(flits)
+			m.st.LinkBusy += uint64(flits)
+			arrive = start + m.routerLat + m.linkLat
+			seen[l] = arrive
+		}
+		at := arrive + event.Cycle(flits-1)
+		d := dst
+		m.eng.At(at, func(now event.Cycle) { deliver(d, now) })
+	}
+	if unicastHops > treeHops {
+		m.st.MulticastSave += uint64((unicastHops - treeHops) * flits)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// String describes the mesh.
+func (m *Mesh) String() string {
+	return fmt.Sprintf("mesh %dx%d %d-bit links", m.w, m.h, m.linkBits)
+}

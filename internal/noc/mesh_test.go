@@ -1,0 +1,213 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamfloat/internal/event"
+	"streamfloat/internal/stats"
+)
+
+func newTestMesh(w, h, linkBits int) (*event.Engine, *stats.Stats, *Mesh) {
+	eng := event.New()
+	st := &stats.Stats{}
+	return eng, st, New(eng, st, w, h, linkBits, 5, 1)
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	_, _, m := newTestMesh(8, 8, 256)
+	for tile := 0; tile < m.Tiles(); tile++ {
+		x, y := m.Coord(tile)
+		if m.TileAt(x, y) != tile {
+			t.Fatalf("tile %d -> (%d,%d) -> %d", tile, x, y, m.TileAt(x, y))
+		}
+	}
+}
+
+func TestHopsManhattan(t *testing.T) {
+	_, _, m := newTestMesh(8, 8, 256)
+	if got := m.Hops(0, 63); got != 14 {
+		t.Errorf("corner-to-corner hops = %d, want 14", got)
+	}
+	if got := m.Hops(5, 5); got != 0 {
+		t.Errorf("self hops = %d, want 0", got)
+	}
+}
+
+func TestFlitsByLinkWidth(t *testing.T) {
+	cases := []struct {
+		linkBits, payload, want int
+	}{
+		{256, 0, 1},  // header only
+		{256, 64, 3}, // 72B = 576 bits -> 3 flits
+		{128, 64, 5}, // 576/128 -> 5
+		{512, 64, 2}, // 576/512 -> 2
+		{256, 8, 1},  // subline: 16B total -> 1 flit
+		{128, 57, 5}, // stream config: 65B = 520 bits -> 5 at 128
+		{256, 57, 3},
+	}
+	for _, c := range cases {
+		_, _, m := newTestMesh(4, 4, c.linkBits)
+		if got := m.Flits(c.payload); got != c.want {
+			t.Errorf("Flits(%d) at %d-bit = %d, want %d", c.payload, c.linkBits, got, c.want)
+		}
+	}
+}
+
+func TestSendDelivers(t *testing.T) {
+	eng, st, m := newTestMesh(4, 4, 256)
+	delivered := false
+	m.Send(0, 15, stats.ClassData, 64, func(now event.Cycle) {
+		delivered = true
+		// 6 hops x (5+1) cycles + 2 tail flits minimum.
+		if now < 36 {
+			t.Errorf("delivered too early: %d", now)
+		}
+	})
+	eng.Run(0)
+	if !delivered {
+		t.Fatal("message not delivered")
+	}
+	if st.Flits[stats.ClassData] != 3 {
+		t.Errorf("flits = %d, want 3", st.Flits[stats.ClassData])
+	}
+	if st.FlitHops[stats.ClassData] != 3*6 {
+		t.Errorf("flit-hops = %d, want 18", st.FlitHops[stats.ClassData])
+	}
+}
+
+func TestLocalDeliveryNoTraffic(t *testing.T) {
+	eng, st, m := newTestMesh(4, 4, 256)
+	done := false
+	m.Send(5, 5, stats.ClassCtrlReq, 8, func(event.Cycle) { done = true })
+	eng.Run(0)
+	if !done {
+		t.Fatal("local message not delivered")
+	}
+	if st.TotalFlits() != 0 {
+		t.Errorf("local delivery injected %d flits", st.TotalFlits())
+	}
+	if st.Messages[stats.ClassCtrlReq] != 1 {
+		t.Errorf("message count = %d", st.Messages[stats.ClassCtrlReq])
+	}
+}
+
+func TestContentionSerializes(t *testing.T) {
+	// Two large messages over the same link: the second must arrive later.
+	eng, _, m := newTestMesh(2, 1, 128)
+	var first, second event.Cycle
+	m.Send(0, 1, stats.ClassData, 64, func(now event.Cycle) { first = now })
+	m.Send(0, 1, stats.ClassData, 64, func(now event.Cycle) { second = now })
+	eng.Run(0)
+	if second <= first {
+		t.Errorf("no serialization: first=%d second=%d", first, second)
+	}
+	if second-first < 5 { // 5 flits each at 128-bit
+		t.Errorf("second only %d cycles later, want >= flit count", second-first)
+	}
+}
+
+func TestMulticastSharesLinks(t *testing.T) {
+	// Multicast from tile 0 to two destinations down the same column must
+	// inject fewer flit-hops than two unicasts.
+	eng, st, m := newTestMesh(1, 8, 256)
+	got := map[int]bool{}
+	m.Multicast(0, []int{4, 7}, stats.ClassData, 64, func(dst int, now event.Cycle) {
+		got[dst] = true
+	})
+	eng.Run(0)
+	if !got[4] || !got[7] {
+		t.Fatalf("missing deliveries: %v", got)
+	}
+	// Shared tree: 7 links x 3 flits = 21 (unicast would be (4+7)*3 = 33).
+	if st.FlitHops[stats.ClassData] != 21 {
+		t.Errorf("multicast flit-hops = %d, want 21", st.FlitHops[stats.ClassData])
+	}
+	if st.MulticastSave != 12 {
+		t.Errorf("multicast savings = %d, want 12", st.MulticastSave)
+	}
+}
+
+func TestMulticastSingleDestEqualsSend(t *testing.T) {
+	eng, st, m := newTestMesh(4, 4, 256)
+	m.Multicast(0, []int{15}, stats.ClassData, 64, func(int, event.Cycle) {})
+	eng.Run(0)
+	if st.FlitHops[stats.ClassData] != 18 {
+		t.Errorf("flit-hops = %d, want 18", st.FlitHops[stats.ClassData])
+	}
+}
+
+// Property: X-Y route length always equals Manhattan distance and every
+// message is delivered exactly once.
+func TestPropertyRouting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng, st, m := newTestMesh(1+rng.Intn(8), 1+rng.Intn(8), 256)
+		n := 20
+		delivered := 0
+		expectedHops := uint64(0)
+		for i := 0; i < n; i++ {
+			src := rng.Intn(m.Tiles())
+			dst := rng.Intn(m.Tiles())
+			if src != dst {
+				expectedHops += uint64(m.Hops(src, dst))
+			}
+			m.Send(src, dst, stats.ClassCtrlReq, 0, func(event.Cycle) { delivered++ })
+		}
+		eng.Run(0)
+		return delivered == n && st.FlitHops[stats.ClassCtrlReq] == expectedHops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total flit-hops of a multicast never exceeds the sum of unicast
+// paths and never undercuts the farthest destination's path.
+func TestPropertyMulticastBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng, st, m := newTestMesh(8, 8, 256)
+		src := rng.Intn(64)
+		nd := 1 + rng.Intn(4)
+		dsts := make([]int, 0, nd)
+		seen := map[int]bool{src: true}
+		for len(dsts) < nd {
+			d := rng.Intn(64)
+			if !seen[d] {
+				seen[d] = true
+				dsts = append(dsts, d)
+			}
+		}
+		m.Multicast(src, dsts, stats.ClassData, 64, func(int, event.Cycle) {})
+		eng.Run(0)
+		flits := uint64(3)
+		var sum, maxPath uint64
+		for _, d := range dsts {
+			h := uint64(m.Hops(src, d))
+			sum += h * flits
+			if h*flits > maxPath {
+				maxPath = h * flits
+			}
+		}
+		got := st.FlitHops[stats.ClassData]
+		return got <= sum && got >= maxPath
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMeshSend(b *testing.B) {
+	eng, _, m := newTestMesh(8, 8, 256)
+	fn := func(event.Cycle) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Send(i%64, (i*7)%64, stats.ClassData, 64, fn)
+		if i%64 == 0 {
+			eng.Run(0)
+		}
+	}
+	eng.Run(0)
+}

@@ -1,0 +1,121 @@
+package stats
+
+import "testing"
+
+func TestTotals(t *testing.T) {
+	var s Stats
+	s.Flits[ClassCtrlReq] = 10
+	s.Flits[ClassData] = 30
+	s.FlitHops[ClassCtrlCoh] = 7
+	s.FlitHops[ClassStream] = 3
+	if s.TotalFlits() != 40 {
+		t.Errorf("TotalFlits = %d", s.TotalFlits())
+	}
+	if s.TotalFlitHops() != 10 {
+		t.Errorf("TotalFlitHops = %d", s.TotalFlitHops())
+	}
+	s.L3Requests[L3CoreNormal] = 5
+	s.L3Requests[L3FloatConfluence] = 5
+	if s.TotalL3Requests() != 10 {
+		t.Errorf("TotalL3Requests = %d", s.TotalL3Requests())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var s Stats
+	s.Cycles = 100
+	s.LinkBusy = 500
+	if got := s.NoCUtilization(10); got != 0.5 {
+		t.Errorf("utilization = %v", got)
+	}
+	if got := s.NoCUtilization(0); got != 0 {
+		t.Errorf("zero links utilization = %v", got)
+	}
+	var empty Stats
+	if empty.NoCUtilization(10) != 0 {
+		t.Error("zero-cycle utilization must be 0")
+	}
+}
+
+func TestPrefetchAccuracy(t *testing.T) {
+	var s Stats
+	if s.PrefetchAccuracy() != 0 {
+		t.Error("no prefetches must give 0 accuracy")
+	}
+	s.PrefetchIssued = 10
+	s.PrefetchUseful = 7
+	if got := s.PrefetchAccuracy(); got != 0.7 {
+		t.Errorf("accuracy = %v", got)
+	}
+}
+
+func TestIPC(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 {
+		t.Error("zero-cycle IPC must be 0")
+	}
+	s.Cycles = 100
+	s.Instructions = 450
+	if got := s.IPC(); got != 4.5 {
+		t.Errorf("IPC = %v", got)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	names := map[MsgClass]string{
+		ClassCtrlReq: "ctrl-req",
+		ClassCtrlCoh: "ctrl-coh",
+		ClassData:    "data",
+		ClassStream:  "stream-ctrl",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %s", c, c.String())
+		}
+	}
+	kinds := map[L3ReqKind]string{
+		L3CoreNormal:      "core-normal",
+		L3CoreStream:      "core-stream",
+		L3FloatAffine:     "float-affine",
+		L3FloatIndirect:   "float-indirect",
+		L3FloatConfluence: "float-confluence",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %s", k, k.String())
+		}
+	}
+}
+
+func TestLoadLatencyHistogram(t *testing.T) {
+	var s Stats
+	if s.LoadLatencyPercentile(0.5) != 0 {
+		t.Error("empty histogram must report 0")
+	}
+	// 90 fast loads (2 cycles), 10 slow (300 cycles).
+	for i := 0; i < 90; i++ {
+		s.RecordLoadLatency(2)
+	}
+	for i := 0; i < 10; i++ {
+		s.RecordLoadLatency(300)
+	}
+	if p50 := s.LoadLatencyPercentile(0.5); p50 > 4 {
+		t.Errorf("p50 = %d, want <= 4", p50)
+	}
+	if p99 := s.LoadLatencyPercentile(0.99); p99 < 256 {
+		t.Errorf("p99 = %d, want >= 256", p99)
+	}
+}
+
+func TestLoadLatencyBucketBounds(t *testing.T) {
+	var s Stats
+	s.RecordLoadLatency(0)
+	s.RecordLoadLatency(1)
+	if s.LoadLatency[0] != 2 {
+		t.Errorf("bucket 0 = %d", s.LoadLatency[0])
+	}
+	s.RecordLoadLatency(1 << 40) // way past the last bucket
+	if s.LoadLatency[len(s.LoadLatency)-1] != 1 {
+		t.Error("overflow not clamped to last bucket")
+	}
+}

@@ -1,0 +1,31 @@
+package system
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"streamfloat/internal/config"
+)
+
+func TestDiag8x8(t *testing.T) {
+	if os.Getenv("STREAMFLOAT_DIAG") == "" {
+		t.Skip("set STREAMFLOAT_DIAG=1 to run full-mesh diagnostics")
+	}
+	for _, bench := range []string{"mv", "conv3d", "nn", "pathfinder", "bfs"} {
+		for _, sys := range []string{"Base", "Bingo", "SS", "SF"} {
+			for _, core := range []config.CoreKind{config.IO4, config.OOO8} {
+				cfg, _ := config.ForSystem(sys, core)
+				res, err := RunBenchmark(cfg, bench, 1.0)
+				if err != nil {
+					t.Errorf("%s/%s/%v: %v", bench, sys, core, err)
+					continue
+				}
+				s := res.Stats
+				fmt.Printf("%-12s %-6s %-5v cyc=%-9d hops=%-10d dram=%-7d conf=%-6d fallb=%-6d util=%.2f E=%.4f\n",
+					bench, sys, core, s.Cycles, s.TotalFlitHops(), s.DRAMReads,
+					s.L3Requests[4], s.StreamFallbacks, s.NoCUtilization(res.NumLinks), s.EnergyJ)
+			}
+		}
+	}
+}

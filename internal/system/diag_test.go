@@ -1,0 +1,30 @@
+package system
+
+import (
+	"fmt"
+	"os"
+	score "streamfloat/internal/core"
+	"testing"
+)
+
+func TestDiag(t *testing.T) {
+	if os.Getenv("STREAMFLOAT_DIAG") == "" {
+		t.Skip("set STREAMFLOAT_DIAG=1 to run cross-system diagnostics")
+	}
+	for _, bench := range []string{"nn", "mv", "pathfinder", "conv3d", "bfs"} {
+		for _, sys := range []string{"Base", "Bingo", "SS", "SF"} {
+			cfg := testConfig(sys)
+			res, err := RunBenchmark(cfg, bench, 0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := res.Stats
+			fmt.Printf("%-12s %-6s cyc=%-9d flitHops=%-9d dram=%-7d l3req=%v floated=%d cfg=%d mig=%d cred=%d fallb=%d util=%.2f\n",
+				bench, sys, s.Cycles, s.TotalFlitHops(), s.DRAMReads, s.L3Requests, s.StreamsFloated, s.StreamConfigs, s.StreamMigrations, s.StreamCredits, s.StreamFallbacks, s.NoCUtilization(res.NumLinks))
+			u, g2, d, sh, sa := score.DebugCounters()
+			if u+g2+d+sh+sa > 0 {
+				fmt.Printf("      causes: ungranted=%d gone=%d dead=%d sinkHits=%d sinkAlias=%d sunk=%d\n", u, g2, d, sh, sa, s.StreamsSunk)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package system
+
+import (
+	"encoding/json"
+	"io"
+
+	"streamfloat/internal/stats"
+)
+
+// Summary is a flat, JSON-friendly digest of one run — the fields a results
+// pipeline typically plots.
+type Summary struct {
+	Benchmark string  `json:"benchmark"`
+	System    string  `json:"system"`
+	Cycles    uint64  `json:"cycles"`
+	IPC       float64 `json:"ipc"`
+	EnergyJ   float64 `json:"energy_j"`
+
+	FlitHops       uint64  `json:"flit_hops"`
+	FlitHopsCtrl   uint64  `json:"flit_hops_ctrl"`
+	FlitHopsData   uint64  `json:"flit_hops_data"`
+	FlitHopsStream uint64  `json:"flit_hops_stream"`
+	NoCUtilization float64 `json:"noc_utilization"`
+
+	L1HitRate float64 `json:"l1_hit_rate"`
+	L2HitRate float64 `json:"l2_hit_rate"`
+	L3HitRate float64 `json:"l3_hit_rate"`
+	DRAMReads uint64  `json:"dram_reads"`
+
+	L3FloatedShare   float64 `json:"l3_floated_share"`
+	StreamsFloated   uint64  `json:"streams_floated"`
+	StreamsSunk      uint64  `json:"streams_sunk"`
+	ConfluenceJoins  uint64  `json:"confluence_joins"`
+	StreamMigrations uint64  `json:"stream_migrations"`
+
+	PrefetchAccuracy float64 `json:"prefetch_accuracy"`
+
+	LoadLatencyP50 uint64 `json:"load_latency_p50"`
+	LoadLatencyP95 uint64 `json:"load_latency_p95"`
+}
+
+func hitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// Summary digests the run's statistics.
+func (r Results) Summary() Summary {
+	s := r.Stats
+	floated := s.L3Requests[stats.L3FloatAffine] +
+		s.L3Requests[stats.L3FloatIndirect] + s.L3Requests[stats.L3FloatConfluence]
+	var floatedShare float64
+	if tot := s.TotalL3Requests(); tot > 0 {
+		floatedShare = float64(floated) / float64(tot)
+	}
+	return Summary{
+		Benchmark: r.Benchmark,
+		System:    r.Config.Label(),
+		Cycles:    s.Cycles,
+		IPC:       s.IPC(),
+		EnergyJ:   s.EnergyJ,
+
+		FlitHops:       s.TotalFlitHops(),
+		FlitHopsCtrl:   s.FlitHops[stats.ClassCtrlReq] + s.FlitHops[stats.ClassCtrlCoh],
+		FlitHopsData:   s.FlitHops[stats.ClassData],
+		FlitHopsStream: s.FlitHops[stats.ClassStream],
+		NoCUtilization: s.NoCUtilization(r.NumLinks),
+
+		L1HitRate: hitRate(s.L1Hits, s.L1Misses),
+		L2HitRate: hitRate(s.L2Hits, s.L2Misses),
+		L3HitRate: hitRate(s.L3Hits, s.L3Misses),
+		DRAMReads: s.DRAMReads,
+
+		L3FloatedShare:   floatedShare,
+		StreamsFloated:   s.StreamsFloated,
+		StreamsSunk:      s.StreamsSunk,
+		ConfluenceJoins:  s.ConfluenceGroups,
+		StreamMigrations: s.StreamMigrations,
+
+		PrefetchAccuracy: s.PrefetchAccuracy(),
+
+		LoadLatencyP50: s.LoadLatencyPercentile(0.5),
+		LoadLatencyP95: s.LoadLatencyPercentile(0.95),
+	}
+}
+
+// WriteJSON writes the summary as one JSON object.
+func (r Results) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Summary())
+}

@@ -1,0 +1,164 @@
+// Package system assembles the full simulated machine — tiles (core + L1 +
+// L2 + SEcore/SE_L2), shared L3 banks with SE_L3, mesh NoC, DRAM controllers
+// and prefetchers — and runs a benchmark to completion with OpenMP-style
+// barriers between phases.
+package system
+
+import (
+	"fmt"
+
+	score "streamfloat/internal/core"
+
+	"streamfloat/internal/cache"
+	"streamfloat/internal/config"
+	"streamfloat/internal/cpu"
+	"streamfloat/internal/energy"
+	"streamfloat/internal/event"
+	"streamfloat/internal/mem"
+	"streamfloat/internal/noc"
+	"streamfloat/internal/prefetch"
+	"streamfloat/internal/stats"
+	"streamfloat/internal/workload"
+)
+
+// Results is the outcome of one simulation run.
+type Results struct {
+	Benchmark string
+	Config    config.Config
+	Stats     stats.Stats
+	NumLinks  int
+}
+
+// Machine is a fully wired simulated system ready to run one benchmark.
+type Machine struct {
+	Cfg     config.Config
+	Eng     *event.Engine
+	St      *stats.Stats
+	Mesh    *noc.Mesh
+	DRAM    *mem.DRAM
+	Caches  *cache.System
+	Backing *mem.Backing
+	Engines *score.Engines
+	Cores   []*cpu.Core
+
+	bench     string
+	numPhases int
+}
+
+// Build constructs the machine for cfg and prepares the named benchmark at
+// the given dataset scale.
+func Build(cfg config.Config, bench string, scale float64) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	kernel, err := workload.New(bench)
+	if err != nil {
+		return nil, err
+	}
+	eng := event.New()
+	st := &stats.Stats{}
+	mesh := noc.New(eng, st, cfg.MeshWidth, cfg.MeshHeight, cfg.LinkBits, cfg.RouterLatency, cfg.LinkLatency)
+	dram := mem.NewDRAM(eng, st, cfg.DRAMLatency, cfg.DRAMBandwidthBpc, cfg.MemControllerTiles())
+	caches := cache.NewSystem(eng, st, cfg, mesh, dram)
+	bk := mem.NewBacking()
+
+	progs := kernel.Prepare(bk, cfg.Tiles(), scale)
+	if len(progs) != cfg.Tiles() {
+		return nil, fmt.Errorf("system: %s produced %d programs for %d cores", bench, len(progs), cfg.Tiles())
+	}
+	numPhases := len(progs[0].Phases)
+	for i := range progs {
+		if err := progs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("system: %s core %d: %w", bench, i, err)
+		}
+		if len(progs[i].Phases) != numPhases {
+			return nil, fmt.Errorf("system: %s core %d has %d phases, core 0 has %d (barrier misalignment)",
+				bench, i, len(progs[i].Phases), numPhases)
+		}
+	}
+
+	m := &Machine{
+		Cfg: cfg, Eng: eng, St: st, Mesh: mesh, DRAM: dram,
+		Caches: caches, Backing: bk, bench: bench, numPhases: numPhases,
+	}
+
+	prefetch.Attach(cfg, caches)
+
+	var se cpu.StreamSource
+	if cfg.Stream != config.StreamOff {
+		m.Engines = score.NewEngines(eng, st, cfg, mesh, caches, bk)
+		se = m.Engines
+	}
+
+	params := cfg.CoreParams()
+	m.Cores = make([]*cpu.Core, cfg.Tiles())
+	for i := 0; i < cfg.Tiles(); i++ {
+		p := progs[i]
+		m.Cores[i] = cpu.NewCore(i, eng, st, params, caches, bk, se, &p)
+	}
+	return m, nil
+}
+
+// barrierLatency models the OpenMP barrier between phases: a reduce +
+// broadcast across the mesh diameter.
+func (m *Machine) barrierLatency() event.Cycle {
+	hop := m.Cfg.RouterLatency + m.Cfg.LinkLatency
+	return event.Cycle(2 * (m.Cfg.MeshWidth + m.Cfg.MeshHeight) * hop)
+}
+
+// Run executes the benchmark to completion and returns the collected
+// statistics. maxCycles bounds the simulation (0 picks a generous default);
+// exceeding it, or an event-queue drain before completion, is reported as
+// an error (deadlock/livelock detection).
+func (m *Machine) Run(maxCycles event.Cycle) (Results, error) {
+	if maxCycles == 0 {
+		maxCycles = 4_000_000_000
+	}
+	finished := false
+	var runPhase func(k int)
+	runPhase = func(k int) {
+		if k >= m.numPhases {
+			finished = true
+			return
+		}
+		remaining := len(m.Cores)
+		for _, c := range m.Cores {
+			c.BeginPhase(k, func() {
+				remaining--
+				if remaining == 0 {
+					m.Eng.Schedule(m.barrierLatency(), func(event.Cycle) { runPhase(k + 1) })
+				}
+			})
+		}
+	}
+	if m.numPhases == 0 {
+		finished = true
+	} else {
+		runPhase(0)
+	}
+	m.Eng.Run(maxCycles)
+	if !finished {
+		if m.Eng.Pending() == 0 {
+			return Results{}, fmt.Errorf("system: %s deadlocked at cycle %d (event queue drained mid-phase)",
+				m.bench, m.Eng.Now())
+		}
+		return Results{}, fmt.Errorf("system: %s exceeded %d cycles", m.bench, maxCycles)
+	}
+	m.St.Cycles = uint64(m.Eng.Now())
+	energy.Apply(m.St, m.Cfg)
+	return Results{
+		Benchmark: m.bench,
+		Config:    m.Cfg,
+		Stats:     *m.St,
+		NumLinks:  m.Mesh.NumLinks(),
+	}, nil
+}
+
+// RunBenchmark is the one-call helper: build and run.
+func RunBenchmark(cfg config.Config, bench string, scale float64) (Results, error) {
+	m, err := Build(cfg, bench, scale)
+	if err != nil {
+		return Results{}, err
+	}
+	return m.Run(0)
+}

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"streamfloat/internal/mem"
+	"streamfloat/internal/stream"
+)
+
+// Synthetic PCs: stable per (kernel, stream role) so that prefetcher
+// training and the stream history table persist across phases.
+func pcOf(kernel, role int) uint32 { return uint32(kernel)<<8 | uint32(role) }
+
+// Kernel indices for PC construction.
+const (
+	kMV = iota + 1
+	kConv3D
+	kNN
+	kPathfinder
+	kHotspot
+	kHotspot3D
+	kSRAD
+	kNW
+	kBFS
+	kCFD
+	kBTree
+	kParticleFilter
+)
+
+// ---------------------------------------------------------------- mv ----
+
+// mvKernel is tiled matrix-vector multiplication y = A*x (paper Table IV:
+// 256 x 65536). Rows are partitioned across cores; each core streams its
+// rows of A (no reuse, footprint >> L2) and re-streams x once per row.
+type mvKernel struct{}
+
+func init() { register("mv", func() Kernel { return mvKernel{} }) }
+
+func (mvKernel) Name() string { return "mv" }
+
+func (mvKernel) Prepare(b *mem.Backing, nCores int, scale float64) []Program {
+	rowsPerCore := int64(2)
+	n := roundLines(scaled(32768, scale, 256), 4) // columns (f32)
+	m := rowsPerCore * int64(nCores)
+	rowBytes := n * 4
+	aBase := b.Alloc(uint64(m*rowBytes), 64)
+	xBase := b.Alloc(uint64(rowBytes), 64)
+
+	linesPerRow := n / 16 // 16 f32 per 64B vector element
+	progs := make([]Program, nCores)
+	for c := 0; c < nCores; c++ {
+		r0 := int64(c) * rowsPerCore
+		a := stream.Decl{ID: 0, Name: "A", PC: pcOf(kMV, 0), Affine: &stream.Affine{
+			Base: aBase + uint64(r0*rowBytes), ElemSize: 64,
+			Strides: [3]int64{64, rowBytes}, Lens: [3]int64{linesPerRow, rowsPerCore},
+		}}
+		x := stream.Decl{ID: 1, Name: "x", PC: pcOf(kMV, 1), Affine: &stream.Affine{
+			Base: xBase, ElemSize: 64,
+			Strides: [3]int64{64, 0}, Lens: [3]int64{linesPerRow, rowsPerCore},
+		}}
+		progs[c] = Program{CoreID: c, Phases: []Phase{{
+			Name:          "mv",
+			Loads:         []stream.Decl{a, x},
+			NumIters:      rowsPerCore * linesPerRow,
+			ComputeCycles: 4,
+			InstrsPerIter: 4,
+		}}}
+	}
+	return progs
+}
+
+// ------------------------------------------------------------- conv3d ----
+
+// conv3dKernel is tiled 3D convolution (paper Table IV: 256x256 maps, 16
+// in / 64 out channels, 3x3 kernel). Output channels are partitioned across
+// cores, so every core streams the *same* input feature map — the stream
+// confluence opportunity highlighted in Fig 5 and Fig 14.
+type conv3dKernel struct{}
+
+func init() { register("conv3d", func() Kernel { return conv3dKernel{} }) }
+
+func (conv3dKernel) Name() string { return "conv3d" }
+
+func (conv3dKernel) Prepare(b *mem.Backing, nCores int, scale float64) []Program {
+	cin := int64(8)
+	dim := roundLines(scaled(96, scale, 32), 4)
+	hw := dim * dim
+	inBase := b.Alloc(uint64(cin*hw*4), 64)
+	outBase := b.Alloc(uint64(int64(nCores)*hw*4), 64)
+
+	linesPerMap := hw / 16
+	progs := make([]Program, nCores)
+	for c := 0; c < nCores; c++ {
+		// Every core reads the whole input volume: identical pattern across
+		// cores (confluence candidate).
+		in := stream.Decl{ID: 0, Name: "ifmap", PC: pcOf(kConv3D, 0), Affine: &stream.Affine{
+			Base: inBase, ElemSize: 64,
+			Strides: [3]int64{64}, Lens: [3]int64{cin * linesPerMap},
+		}}
+		// The output accumulator is rewritten once per input channel; its
+		// footprint fits the private cache and stays resident.
+		out := stream.Decl{ID: 1, Name: "ofmap", PC: pcOf(kConv3D, 1), Affine: &stream.Affine{
+			Base: outBase + uint64(int64(c)*hw*4), ElemSize: 64,
+			Strides: [3]int64{64, 0}, Lens: [3]int64{linesPerMap, cin},
+		}}
+		progs[c] = Program{CoreID: c, Phases: []Phase{{
+			Name:          "conv",
+			Loads:         []stream.Decl{in},
+			Stores:        []stream.Decl{out},
+			NumIters:      cin * linesPerMap,
+			ComputeCycles: 8, // 9-tap FMA chain at vector width
+			InstrsPerIter: 10,
+		}}}
+	}
+	return progs
+}
+
+// ----------------------------------------------------------------- nn ----
+
+// nnKernel is nearest-neighbor search (Table IV: 768k entries): one long
+// scan over the record array computing a distance per record. The dataset
+// is read once (cold), so it streams from main memory.
+type nnKernel struct{}
+
+func init() { register("nn", func() Kernel { return nnKernel{} }) }
+
+func (nnKernel) Name() string { return "nn" }
+
+func (nnKernel) Prepare(b *mem.Backing, nCores int, scale float64) []Program {
+	recs := roundLines(scaled(786432, scale, 4096), 64) // Table IV: 768k entries
+	base := b.Alloc(uint64(recs*64), 64)                // one 64-byte record per line
+	progs := make([]Program, nCores)
+	for c := 0; c < nCores; c++ {
+		lo, hi := chunk(recs, nCores, c)
+		d := stream.Decl{ID: 0, Name: "records", PC: pcOf(kNN, 0), Affine: &stream.Affine{
+			Base: base + uint64(lo*64), ElemSize: 64,
+			Strides: [3]int64{64}, Lens: [3]int64{hi - lo},
+		}}
+		progs[c] = Program{CoreID: c, Phases: []Phase{{
+			Name:          "scan",
+			Loads:         []stream.Decl{d},
+			NumIters:      hi - lo,
+			ComputeCycles: 6,
+			InstrsPerIter: 8,
+		}}}
+	}
+	return progs
+}
+
+// --------------------------------------------------------- pathfinder ----
+
+// pathfinderKernel is the Rodinia dynamic-programming grid walk (Table IV:
+// 1.5M entries, 8 iterations): per outer iteration, each core reads one row
+// of the wall matrix (streamed once, never reused) and its slice of the
+// previous result row (hot in the private cache), writing the next result
+// row. The wall streams are the textbook affine-floating case.
+type pathfinderKernel struct{}
+
+func init() { register("pathfinder", func() Kernel { return pathfinderKernel{} }) }
+
+func (pathfinderKernel) Name() string { return "pathfinder" }
+
+func (pathfinderKernel) Prepare(b *mem.Backing, nCores int, scale float64) []Program {
+	cols := roundLines(scaled(1572864, scale, 16384), 4) // Table IV: 1.5M entries
+	rounds := 4
+	rowBytes := cols * 4
+	wallBase := b.Alloc(uint64(int64(rounds)*rowBytes), 64)
+	srcBase := b.Alloc(uint64(rowBytes), 64)
+	dstBase := b.Alloc(uint64(rowBytes), 64)
+
+	progs := make([]Program, nCores)
+	for c := 0; c < nCores; c++ {
+		lo, hi := chunk(cols/16, nCores, c) // vector elements
+		var phases []Phase
+		for r := 0; r < rounds; r++ {
+			src, dst := srcBase, dstBase
+			if r%2 == 1 {
+				src, dst = dstBase, srcBase
+			}
+			wall := stream.Decl{ID: 0, Name: "wall", PC: pcOf(kPathfinder, 0), Affine: &stream.Affine{
+				Base: wallBase + uint64(int64(r)*rowBytes+lo*64), ElemSize: 64,
+				Strides: [3]int64{64}, Lens: [3]int64{hi - lo},
+			}}
+			prev := stream.Decl{ID: 1, Name: "src", PC: pcOf(kPathfinder, 1), Affine: &stream.Affine{
+				Base: src + uint64(lo*64), ElemSize: 64,
+				Strides: [3]int64{64}, Lens: [3]int64{hi - lo},
+			}}
+			out := stream.Decl{ID: 2, Name: "dst", PC: pcOf(kPathfinder, 2), Affine: &stream.Affine{
+				Base: dst + uint64(lo*64), ElemSize: 64,
+				Strides: [3]int64{64}, Lens: [3]int64{hi - lo},
+			}}
+			phases = append(phases, Phase{
+				Name:          "round",
+				Loads:         []stream.Decl{wall, prev},
+				Stores:        []stream.Decl{out},
+				NumIters:      hi - lo,
+				ComputeCycles: 3,
+				InstrsPerIter: 6,
+			})
+		}
+		progs[c] = Program{CoreID: c, Phases: phases}
+	}
+	return progs
+}

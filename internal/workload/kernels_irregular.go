@@ -1,0 +1,347 @@
+package workload
+
+import (
+	"math/rand"
+
+	"streamfloat/internal/mem"
+	"streamfloat/internal/stream"
+)
+
+// ---------------------------------------------------------------- bfs ----
+
+// bfsKernel is level-synchronous breadth-first search over a CSR graph
+// (Table IV: 1m nodes). Nodes are relabeled in BFS order (a standard graph
+// optimization), so each level's frontier occupies a contiguous id range and
+// its out-edges form a contiguous CSR segment: an affine stream of edge
+// targets chained to an indirect stream over the distance array — the
+// paper's indirect-floating showcase (B[A[i]] with subline transfer).
+type bfsKernel struct{}
+
+func init() { register("bfs", func() Kernel { return bfsKernel{} }) }
+
+func (bfsKernel) Name() string { return "bfs" }
+
+func (bfsKernel) Prepare(b *mem.Backing, nCores int, scale float64) []Program {
+	n := scaled(262144, scale, 8192)
+	// Level sizes grow geometrically, then the bulk of the graph forms two
+	// large adjacent levels (as in a random graph's BFS profile, where most
+	// edges connect the big middle frontiers), followed by a small tail.
+	var levels []int64
+	remaining := n
+	for sz := int64(1); remaining > 4*sz; sz *= 16 {
+		levels = append(levels, sz)
+		remaining -= sz
+	}
+	tail := remaining / 16
+	if tail < 1 {
+		tail = 1
+	}
+	big := (remaining - tail) / 2
+	levels = append(levels, big, remaining-tail-big, tail)
+	degree := int64(1) // paper: 1m nodes, ~600k edges — most targets touched once
+
+	// Level start offsets in node-id space.
+	starts := make([]int64, len(levels)+1)
+	for i, sz := range levels {
+		starts[i+1] = starts[i] + sz
+	}
+
+	distBase := b.Alloc(uint64(n*4), 64)
+	edgeBase := b.Alloc(uint64(n*degree*4), 64)
+	nextQBase := b.Alloc(uint64(n*degree*4), 64)
+
+	// Edge targets: each node in level L points at random nodes in level
+	// L+1 — the genuine data the indirect stream will chase.
+	rng := rand.New(rand.NewSource(0xbf5))
+	edgeOff := make([]int64, len(levels)) // edge-segment start per level
+	var eCursor int64
+	for lv := 0; lv+1 < len(levels); lv++ {
+		edgeOff[lv] = eCursor
+		nlo, nhi := starts[lv+1], starts[lv+2]
+		for node := starts[lv]; node < starts[lv+1]; node++ {
+			for d := int64(0); d < degree; d++ {
+				target := nlo + rng.Int63n(nhi-nlo)
+				b.WriteU32(edgeBase+uint64(eCursor*4), uint32(target))
+				eCursor++
+			}
+		}
+	}
+
+	progs := make([]Program, nCores)
+	for c := 0; c < nCores; c++ {
+		var phases []Phase
+		for lv := 0; lv+1 < len(levels); lv++ {
+			segLen := levels[lv] * degree
+			lo, hi := chunk(segLen, nCores, c)
+			if hi == lo {
+				phases = append(phases, Phase{Name: "idle"})
+				continue
+			}
+			targets := stream.Decl{ID: 0, Name: "edge.dst", PC: pcOf(kBFS, 0), Affine: &stream.Affine{
+				Base: edgeBase + uint64((edgeOff[lv]+lo)*4), ElemSize: 4,
+				Strides: [3]int64{4}, Lens: [3]int64{hi - lo},
+			}}
+			dist := stream.Decl{ID: 1, Name: "dist", PC: pcOf(kBFS, 1), BaseOn: 0,
+				Indirect: &stream.Indirect{Base: distBase, ElemSize: 4, Scale: 4, WBytes: 4}}
+			// Discovered nodes append to the next-frontier queue:
+			// sequential scalar stores.
+			nextQ := stream.Decl{ID: 2, Name: "nextq", PC: pcOf(kBFS, 2), Affine: &stream.Affine{
+				Base: nextQBase + uint64((edgeOff[lv]+lo)*4), ElemSize: 4,
+				Strides: [3]int64{4}, Lens: [3]int64{hi - lo},
+			}}
+			phases = append(phases, Phase{
+				Name:          "level",
+				Loads:         []stream.Decl{targets, dist},
+				Stores:        []stream.Decl{nextQ},
+				NumIters:      hi - lo,
+				ComputeCycles: 2,
+				InstrsPerIter: 8,
+			})
+		}
+		progs[c] = Program{CoreID: c, Phases: phases}
+	}
+	return progs
+}
+
+// ---------------------------------------------------------------- cfd ----
+
+// cfdKernel models the Rodinia CFD Euler solver's flux computation
+// (Table IV: fvcorr.domn.193K): per cell it reads the cell's own variables
+// (affine), four neighbor indices (affine), and the neighbors' variables
+// (indirect, 16-byte sublines). The mesh is structured-as-unstructured, so
+// indirect targets have significant locality — which is why the paper sees
+// a slight traffic *increase* from indirect floating on cfd.
+type cfdKernel struct{}
+
+func init() { register("cfd", func() Kernel { return cfdKernel{} }) }
+
+func (cfdKernel) Name() string { return "cfd" }
+
+func (cfdKernel) Prepare(b *mem.Backing, nCores int, scale float64) []Program {
+	n := roundLines(scaled(65536, scale, 4096), 4)
+	width := int64(256)
+	rounds := 2
+
+	varsBase := b.Alloc(uint64(n*16), 64) // 4 f32 per cell
+	fluxBase := b.Alloc(uint64(n*16), 64)
+	nbrBase := make([]uint64, 4)
+	for k := range nbrBase {
+		nbrBase[k] = b.Alloc(uint64(n*4), 64)
+	}
+	clamp := func(v int64) int64 {
+		if v < 0 {
+			return 0
+		}
+		if v >= n {
+			return n - 1
+		}
+		return v
+	}
+	for i := int64(0); i < n; i++ {
+		nb := [4]int64{clamp(i - 1), clamp(i + 1), clamp(i - width), clamp(i + width)}
+		for k, t := range nb {
+			b.WriteU32(nbrBase[k]+uint64(i*4), uint32(t))
+		}
+	}
+
+	progs := make([]Program, nCores)
+	for c := 0; c < nCores; c++ {
+		lo, hi := chunk(n, nCores, c)
+		var phases []Phase
+		for r := 0; r < rounds; r++ {
+			loads := []stream.Decl{{ID: 0, Name: "vars", PC: pcOf(kCFD, 0), Affine: &stream.Affine{
+				Base: varsBase + uint64(lo*16), ElemSize: 16,
+				Strides: [3]int64{16}, Lens: [3]int64{hi - lo},
+			}}}
+			for k := 0; k < 4; k++ {
+				loads = append(loads, stream.Decl{ID: 1 + k, Name: "nbr", PC: pcOf(kCFD, 1+k), Affine: &stream.Affine{
+					Base: nbrBase[k] + uint64(lo*4), ElemSize: 4,
+					Strides: [3]int64{4}, Lens: [3]int64{hi - lo},
+				}})
+			}
+			for k := 0; k < 4; k++ {
+				loads = append(loads, stream.Decl{ID: 5 + k, Name: "nbr.vars", PC: pcOf(kCFD, 5+k), BaseOn: 1 + k,
+					Indirect: &stream.Indirect{Base: varsBase, ElemSize: 16, Scale: 16, WBytes: 16}})
+			}
+			flux := stream.Decl{ID: 9, Name: "flux", PC: pcOf(kCFD, 9), Affine: &stream.Affine{
+				Base: fluxBase + uint64(lo*16), ElemSize: 16,
+				Strides: [3]int64{16}, Lens: [3]int64{hi - lo},
+			}}
+			phases = append(phases, Phase{
+				Name:          "flux",
+				Loads:         loads,
+				Stores:        []stream.Decl{flux},
+				NumIters:      hi - lo,
+				ComputeCycles: 15,
+				InstrsPerIter: 24,
+			})
+		}
+		progs[c] = Program{CoreID: c, Phases: phases}
+	}
+	return progs
+}
+
+// -------------------------------------------------------------- btree ----
+
+// btreeKernel models the Rodinia b+ tree queries (Table IV: 1m leaves, 10k
+// lookups, 6k range queries). Each node is one 64-byte line (fanout 16);
+// descents are genuine pointer chases computed from the tree laid out in
+// backing memory, so they appear as dependent sequential loads streams
+// cannot cover — the benchmark where stream techniques help least.
+type btreeKernel struct{}
+
+func init() { register("btree", func() Kernel { return btreeKernel{} }) }
+
+func (btreeKernel) Name() string { return "btree" }
+
+func (btreeKernel) Prepare(b *mem.Backing, nCores int, scale float64) []Program {
+	const fanout = 16
+	leaves := roundLines(scaled(65536, scale, 4096), 4)
+	nLookups := scaled(10240, scale, 512)
+	nRange := scaled(6144, scale, 256)
+	const rangeLines = 8
+
+	// Level 0 = leaves; level k+1 has ceil(level_k / fanout) nodes. Each
+	// node occupies one line.
+	var levelBase []uint64
+	var levelCount []int64
+	for cnt := leaves; ; cnt = (cnt + fanout - 1) / fanout {
+		levelBase = append(levelBase, b.Alloc(uint64(cnt*64), 64))
+		levelCount = append(levelCount, cnt)
+		if cnt == 1 {
+			break
+		}
+	}
+	depth := len(levelBase)
+
+	// path computes the descent chain for a leaf index: root first.
+	path := func(leaf int64) []uint64 {
+		chain := make([]uint64, 0, depth)
+		for lv := depth - 1; lv >= 0; lv-- {
+			idx := leaf
+			for i := 0; i < lv; i++ {
+				idx /= fanout
+			}
+			chain = append(chain, levelBase[lv]+uint64(idx*64))
+		}
+		return chain
+	}
+
+	rng := rand.New(rand.NewSource(0xb7ee))
+	mkQueries := func(count int64, span int64) []int64 {
+		qs := make([]int64, count)
+		for i := range qs {
+			qs[i] = rng.Int63n(leaves - span)
+		}
+		return qs
+	}
+	lookups := mkQueries(nLookups, 1)
+	ranges := mkQueries(nRange, rangeLines)
+
+	progs := make([]Program, nCores)
+	for c := 0; c < nCores; c++ {
+		lLo, lHi := chunk(nLookups, nCores, c)
+		myLookups := lookups[lLo:lHi]
+		rLo, rHi := chunk(nRange, nCores, c)
+		myRanges := ranges[rLo:rHi]
+
+		lookupPhase := Phase{
+			Name:     "lookup",
+			NumIters: int64(len(myLookups)),
+			SeqLoads: func(iter int64) []uint64 {
+				return path(myLookups[iter])
+			},
+			ComputeCycles: 4,
+			InstrsPerIter: 30,
+		}
+		rangePhase := Phase{
+			Name:     "range",
+			NumIters: int64(len(myRanges)),
+			SeqLoads: func(iter int64) []uint64 {
+				leaf := myRanges[iter]
+				chain := path(leaf)
+				for k := int64(1); k < rangeLines; k++ {
+					chain = append(chain, levelBase[0]+uint64((leaf+k)*64))
+				}
+				return chain
+			},
+			ComputeCycles: 6,
+			InstrsPerIter: 80,
+		}
+		if len(myLookups) == 0 {
+			lookupPhase = Phase{Name: "idle"}
+		}
+		if len(myRanges) == 0 {
+			rangePhase = Phase{Name: "idle"}
+		}
+		progs[c] = Program{CoreID: c, Phases: []Phase{lookupPhase, rangePhase}}
+	}
+	return progs
+}
+
+// ----------------------------------------------------- particlefilter ----
+
+// particleFilterKernel models the Rodinia particle filter (Table IV: 48k
+// particles): a parallel weight pass over per-core particle chunks, a
+// partial-sum pass, then systematic resampling in which *every* core scans
+// the entire accumulated-weight array — the paper's second confluence
+// showcase.
+type particleFilterKernel struct{}
+
+func init() { register("particlefilter", func() Kernel { return particleFilterKernel{} }) }
+
+func (particleFilterKernel) Name() string { return "particlefilter" }
+
+func (particleFilterKernel) Prepare(b *mem.Backing, nCores int, scale float64) []Program {
+	nP := roundLines(scaled(65536, scale, 8192), 4)
+	xBase := b.Alloc(uint64(nP*4), 64)
+	yBase := b.Alloc(uint64(nP*4), 64)
+	wBase := b.Alloc(uint64(nP*4), 64)
+	cdfBase := b.Alloc(uint64(nP*4), 64)
+	outBase := b.Alloc(uint64(nP*4), 64)
+
+	linesTotal := nP / 16
+	progs := make([]Program, nCores)
+	for c := 0; c < nCores; c++ {
+		lo, hi := chunk(linesTotal, nCores, c)
+		myLines := hi - lo
+		mk := func(id int, name string, role int, base uint64) stream.Decl {
+			return stream.Decl{ID: id, Name: name, PC: pcOf(kParticleFilter, role), Affine: &stream.Affine{
+				Base: base + uint64(lo*64), ElemSize: 64,
+				Strides: [3]int64{64}, Lens: [3]int64{myLines},
+			}}
+		}
+		weights := Phase{
+			Name:          "weights",
+			Loads:         []stream.Decl{mk(0, "x", 0, xBase), mk(1, "y", 1, yBase)},
+			Stores:        []stream.Decl{mk(2, "w", 2, wBase)},
+			NumIters:      myLines,
+			ComputeCycles: 12,
+			InstrsPerIter: 14,
+		}
+		partial := Phase{
+			Name:          "partial-sum",
+			Loads:         []stream.Decl{mk(0, "w", 3, wBase)},
+			Stores:        []stream.Decl{mk(1, "cdf", 4, cdfBase)},
+			NumIters:      myLines,
+			ComputeCycles: 3,
+			InstrsPerIter: 5,
+		}
+		// Resample: every core scans the whole CDF — identical streams
+		// across cores merge into multicast confluence groups.
+		cdfAll := stream.Decl{ID: 0, Name: "cdf", PC: pcOf(kParticleFilter, 5), Affine: &stream.Affine{
+			Base: cdfBase, ElemSize: 64,
+			Strides: [3]int64{64}, Lens: [3]int64{linesTotal},
+		}}
+		resample := Phase{
+			Name:          "resample",
+			Loads:         []stream.Decl{cdfAll},
+			Stores:        []stream.Decl{mk(1, "out", 6, outBase)},
+			NumIters:      linesTotal,
+			ComputeCycles: 4,
+			InstrsPerIter: 7,
+		}
+		progs[c] = Program{CoreID: c, Phases: []Phase{weights, partial, resample}}
+	}
+	return progs
+}

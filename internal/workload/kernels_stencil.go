@@ -1,0 +1,299 @@
+package workload
+
+import (
+	"streamfloat/internal/mem"
+	"streamfloat/internal/stream"
+)
+
+// rowStencil builds the three offset row-streams (above/center/below) that
+// 5-point stencils read, as one declaration each: constant-offset copies of
+// the same pattern (the A[i], A[i+K] reuse case of §IV-B).
+func rowStencil(idBase int, namePrefix string, pc uint32, base uint64, rowBytes int64, linesPerRow, rows int64) []stream.Decl {
+	mk := func(id int, name string, off int64) stream.Decl {
+		return stream.Decl{ID: idBase + id, Name: namePrefix + name, PC: pc + uint32(id), Affine: &stream.Affine{
+			Base: uint64(int64(base) + off), ElemSize: 64,
+			Strides: [3]int64{64, rowBytes}, Lens: [3]int64{linesPerRow, rows},
+		}}
+	}
+	return []stream.Decl{
+		mk(0, ".n", -rowBytes),
+		mk(1, ".c", 0),
+		mk(2, ".s", rowBytes),
+	}
+}
+
+// ------------------------------------------------------------ hotspot ----
+
+// hotspotKernel is the Rodinia 2D thermal stencil (Table IV: 1024x1024, 8
+// iterations): ping-pong temperature grids plus a power grid. Each round
+// reads three offset rows of the previous temperature (private-cache
+// resident after the first round) and streams the power grid.
+type hotspotKernel struct{}
+
+func init() { register("hotspot", func() Kernel { return hotspotKernel{} }) }
+
+func (hotspotKernel) Name() string { return "hotspot" }
+
+func (hotspotKernel) Prepare(b *mem.Backing, nCores int, scale float64) []Program {
+	dim := roundLines(scaled(2048, scale, 128), 4)
+	rounds := 2
+	rowBytes := dim * 4
+	// One guard row above and below keeps the offset streams in bounds.
+	tempA := b.Alloc(uint64((dim+2)*rowBytes), 64) + uint64(rowBytes)
+	tempB := b.Alloc(uint64((dim+2)*rowBytes), 64) + uint64(rowBytes)
+	power := b.Alloc(uint64(dim*rowBytes), 64)
+
+	linesPerRow := dim / 16
+	progs := make([]Program, nCores)
+	for c := 0; c < nCores; c++ {
+		r0, r1 := chunk(dim, nCores, c)
+		rows := r1 - r0
+		var phases []Phase
+		for r := 0; r < rounds; r++ {
+			src, dst := tempA, tempB
+			if r%2 == 1 {
+				src, dst = tempB, tempA
+			}
+			loads := rowStencil(0, "t", pcOf(kHotspot, 0), src+uint64(r0*rowBytes), rowBytes, linesPerRow, rows)
+			loads = append(loads, stream.Decl{ID: 3, Name: "power", PC: pcOf(kHotspot, 4), Affine: &stream.Affine{
+				Base: power + uint64(r0*rowBytes), ElemSize: 64,
+				Strides: [3]int64{64, rowBytes}, Lens: [3]int64{linesPerRow, rows},
+			}})
+			store := stream.Decl{ID: 4, Name: "out", PC: pcOf(kHotspot, 5), Affine: &stream.Affine{
+				Base: dst + uint64(r0*rowBytes), ElemSize: 64,
+				Strides: [3]int64{64, rowBytes}, Lens: [3]int64{linesPerRow, rows},
+			}}
+			phases = append(phases, Phase{
+				Name:          "round",
+				Loads:         loads,
+				Stores:        []stream.Decl{store},
+				NumIters:      rows * linesPerRow,
+				ComputeCycles: 6,
+				InstrsPerIter: 9,
+			})
+		}
+		progs[c] = Program{CoreID: c, Phases: phases}
+	}
+	return progs
+}
+
+// ---------------------------------------------------------- hotspot3D ----
+
+// hotspot3DKernel is the 3D 7-point thermal stencil (Table IV: 512x512x8).
+// The y-offset streams are close enough to share SE_L2 buffer space, but the
+// z-offset streams are a whole plane apart and must stream independently.
+type hotspot3DKernel struct{}
+
+func init() { register("hotspot3D", func() Kernel { return hotspot3DKernel{} }) }
+
+func (hotspot3DKernel) Name() string { return "hotspot3D" }
+
+func (hotspot3DKernel) Prepare(b *mem.Backing, nCores int, scale float64) []Program {
+	dim := roundLines(scaled(512, scale, 64), 4) // Table IV: 512x512x8
+	nz := int64(8)
+	rounds := 2
+	rowBytes := dim * 4
+	planeBytes := dim * rowBytes
+	alloc := func() uint64 {
+		// Guard planes on both sides keep z-offset streams in bounds.
+		return b.Alloc(uint64((nz+2)*planeBytes), 64) + uint64(planeBytes)
+	}
+	tempA, tempB := alloc(), alloc()
+	power := b.Alloc(uint64(nz*planeBytes), 64)
+
+	linesPerRow := dim / 16
+	progs := make([]Program, nCores)
+	for c := 0; c < nCores; c++ {
+		r0, r1 := chunk(dim, nCores, c)
+		rows := r1 - r0
+		var phases []Phase
+		for r := 0; r < rounds; r++ {
+			src, dst := tempA, tempB
+			if r%2 == 1 {
+				src, dst = tempB, tempA
+			}
+			base := src + uint64(r0*rowBytes)
+			mk := func(id int, name string, off int64) stream.Decl {
+				return stream.Decl{ID: id, Name: name, PC: pcOf(kHotspot3D, id), Affine: &stream.Affine{
+					Base: uint64(int64(base) + off), ElemSize: 64,
+					Strides: [3]int64{64, rowBytes, planeBytes}, Lens: [3]int64{linesPerRow, rows, nz},
+				}}
+			}
+			loads := []stream.Decl{
+				mk(0, "t.ym", -rowBytes),
+				mk(1, "t.c", 0),
+				mk(2, "t.yp", rowBytes),
+				mk(3, "t.zm", -planeBytes),
+				mk(4, "t.zp", planeBytes),
+				{ID: 5, Name: "power", PC: pcOf(kHotspot3D, 5), Affine: &stream.Affine{
+					Base: power + uint64(r0*rowBytes), ElemSize: 64,
+					Strides: [3]int64{64, rowBytes, planeBytes}, Lens: [3]int64{linesPerRow, rows, nz},
+				}},
+			}
+			store := stream.Decl{ID: 6, Name: "out", PC: pcOf(kHotspot3D, 6), Affine: &stream.Affine{
+				Base: dst + uint64(r0*rowBytes), ElemSize: 64,
+				Strides: [3]int64{64, rowBytes, planeBytes}, Lens: [3]int64{linesPerRow, rows, nz},
+			}}
+			phases = append(phases, Phase{
+				Name:          "round",
+				Loads:         loads,
+				Stores:        []stream.Decl{store},
+				NumIters:      nz * rows * linesPerRow,
+				ComputeCycles: 8,
+				InstrsPerIter: 12,
+			})
+		}
+		progs[c] = Program{CoreID: c, Phases: phases}
+	}
+	return progs
+}
+
+// --------------------------------------------------------------- srad ----
+
+// sradKernel is the Rodinia speckle-reducing anisotropic diffusion stencil
+// (Table IV: 512x2048, 8 iterations): each round runs two phases — a
+// gradient/coefficient pass over J producing c, then an update pass over c
+// producing the next J.
+type sradKernel struct{}
+
+func init() { register("srad", func() Kernel { return sradKernel{} }) }
+
+func (sradKernel) Name() string { return "srad" }
+
+func (sradKernel) Prepare(b *mem.Backing, nCores int, scale float64) []Program {
+	rows := int64(512) // Table IV: 512x2048
+	cols := roundLines(scaled(2048, scale, 256), 4)
+	rounds := 2
+	rowBytes := cols * 4
+	jBase := b.Alloc(uint64((rows+2)*rowBytes), 64) + uint64(rowBytes)
+	cBase := b.Alloc(uint64((rows+2)*rowBytes), 64) + uint64(rowBytes)
+
+	linesPerRow := cols / 16
+	progs := make([]Program, nCores)
+	for c := 0; c < nCores; c++ {
+		r0, r1 := chunk(rows, nCores, c)
+		myRows := r1 - r0
+		if myRows == 0 {
+			// Keep the global phase count aligned: this core participates
+			// in every barrier but does no work.
+			empty := make([]Phase, 2*rounds)
+			for i := range empty {
+				empty[i].Name = "idle"
+			}
+			progs[c] = Program{CoreID: c, Phases: empty}
+			continue
+		}
+		var phases []Phase
+		for r := 0; r < rounds; r++ {
+			gradLoads := rowStencil(0, "J", pcOf(kSRAD, 0), jBase+uint64(r0*rowBytes), rowBytes, linesPerRow, myRows)
+			storeC := stream.Decl{ID: 3, Name: "c", PC: pcOf(kSRAD, 3), Affine: &stream.Affine{
+				Base: cBase + uint64(r0*rowBytes), ElemSize: 64,
+				Strides: [3]int64{64, rowBytes}, Lens: [3]int64{linesPerRow, myRows},
+			}}
+			phases = append(phases, Phase{
+				Name:          "grad",
+				Loads:         gradLoads,
+				Stores:        []stream.Decl{storeC},
+				NumIters:      myRows * linesPerRow,
+				ComputeCycles: 10,
+				InstrsPerIter: 14,
+			})
+			updLoads := rowStencil(0, "c", pcOf(kSRAD, 4), cBase+uint64(r0*rowBytes), rowBytes, linesPerRow, myRows)
+			updLoads = append(updLoads, stream.Decl{ID: 3, Name: "J", PC: pcOf(kSRAD, 7), Affine: &stream.Affine{
+				Base: jBase + uint64(r0*rowBytes), ElemSize: 64,
+				Strides: [3]int64{64, rowBytes}, Lens: [3]int64{linesPerRow, myRows},
+			}})
+			storeJ := stream.Decl{ID: 4, Name: "J'", PC: pcOf(kSRAD, 8), Affine: &stream.Affine{
+				Base: jBase + uint64(r0*rowBytes), ElemSize: 64,
+				Strides: [3]int64{64, rowBytes}, Lens: [3]int64{linesPerRow, myRows},
+			}}
+			phases = append(phases, Phase{
+				Name:          "update",
+				Loads:         updLoads,
+				Stores:        []stream.Decl{storeJ},
+				NumIters:      myRows * linesPerRow,
+				ComputeCycles: 7,
+				InstrsPerIter: 10,
+			})
+		}
+		progs[c] = Program{CoreID: c, Phases: phases}
+	}
+	return progs
+}
+
+// ----------------------------------------------------------------- nw ----
+
+// nwKernel is Needleman-Wunsch (Table IV: 2048x2048): a blocked 2D dynamic
+// program swept in anti-diagonal order. The diagonal block order gives the
+// stride prefetcher a pattern it cannot follow (the paper notes it "failed
+// on the stride prefetcher"), while streams describe each block exactly.
+type nwKernel struct{}
+
+func init() { register("nw", func() Kernel { return nwKernel{} }) }
+
+func (nwKernel) Name() string { return "nw" }
+
+func (nwKernel) Prepare(b *mem.Backing, nCores int, scale float64) []Program {
+	const blockDim = 16 // 16x16 int32 block: one 64-byte line per block row
+	side := roundLines(scaled(1024, scale, 128), 4)
+	blocks := side / blockDim
+	rowBytes := side * 4
+	refBase := b.Alloc(uint64((side+1)*rowBytes), 64)
+	scoreBase := b.Alloc(uint64((side+1)*rowBytes), 64) + uint64(rowBytes)
+
+	// Consecutive blocks along an anti-diagonal sit at a constant byte
+	// offset from each other, so a core's run of blocks on one diagonal is
+	// a single 2-level affine stream.
+	blockHop := int64(blockDim)*rowBytes - int64(blockDim)*4
+
+	progs := make([]Program, nCores)
+	phasesPerCore := make([][]Phase, nCores)
+	for c := range phasesPerCore {
+		phasesPerCore[c] = make([]Phase, 0, 2*blocks-1)
+	}
+	for d := int64(0); d < 2*blocks-1; d++ {
+		iLo := int64(0)
+		if d >= blocks {
+			iLo = d - blocks + 1
+		}
+		iHi := d
+		if iHi >= blocks {
+			iHi = blocks - 1
+		}
+		nBlocks := iHi - iLo + 1
+		for c := 0; c < nCores; c++ {
+			bLo, bHi := chunk(nBlocks, nCores, c)
+			myBlocks := bHi - bLo
+			if myBlocks == 0 {
+				// This core only participates in the barrier this diagonal.
+				phasesPerCore[c] = append(phasesPerCore[c], Phase{Name: "idle"})
+				continue
+			}
+			br, bc := iLo+bLo, d-(iLo+bLo) // first block's row/col
+			blockOff := uint64(br*int64(blockDim)*rowBytes + bc*int64(blockDim)*4)
+			mk := func(id int, name string, base uint64, off int64) stream.Decl {
+				return stream.Decl{ID: id, Name: name, PC: pcOf(kNW, id), Affine: &stream.Affine{
+					Base: uint64(int64(base+blockOff) + off), ElemSize: 64,
+					Strides: [3]int64{rowBytes, blockHop}, Lens: [3]int64{blockDim, myBlocks},
+				}}
+			}
+			ref := mk(0, "ref", refBase, 0)
+			// The row above each block, produced by the northern neighbor
+			// block on an earlier diagonal (often by another core).
+			north := mk(1, "north", scoreBase, -rowBytes)
+			out := mk(2, "score", scoreBase, 0)
+			phasesPerCore[c] = append(phasesPerCore[c], Phase{
+				Name:          "diag",
+				Loads:         []stream.Decl{ref, north},
+				Stores:        []stream.Decl{out},
+				NumIters:      myBlocks * blockDim,
+				ComputeCycles: 10,
+				InstrsPerIter: 20,
+			})
+		}
+	}
+	for c := 0; c < nCores; c++ {
+		progs[c] = Program{CoreID: c, Phases: phasesPerCore[c]}
+	}
+	return progs
+}

@@ -1,0 +1,206 @@
+// Package workload expresses the paper's 12 data-processing benchmarks
+// (10 Rodinia OpenMP workloads plus the mv and conv3d kernels) in the form
+// the stream compiler of §VI would emit: per-core programs made of phases
+// (synchronization-free parallel regions separated by OpenMP-style
+// barriers), where each phase declares its load/store streams and the
+// per-iteration compute cost of the loop body.
+//
+// Index-bearing workloads (bfs, cfd, b+tree) write real index data into the
+// functional backing memory so that indirect streams chase genuine,
+// data-dependent addresses.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"streamfloat/internal/mem"
+	"streamfloat/internal/stream"
+)
+
+// Phase is one parallel loop nest: a synchronization-free region in which
+// streams live (streams are configured at phase entry and ended at phase
+// exit; a barrier separates phases).
+type Phase struct {
+	Name string
+
+	// Loads are the load streams; each iteration consumes exactly one
+	// element of every load stream.
+	Loads []stream.Decl
+
+	// Stores are affine store streams; each iteration writes one element
+	// of each (stores are never floated).
+	Stores []stream.Decl
+
+	// SeqLoads returns data-dependent pointer-chase load addresses for an
+	// iteration; they execute sequentially (each waits for the previous).
+	// May be nil.
+	SeqLoads func(iter int64) []uint64
+
+	NumIters int64
+
+	// ComputeCycles is the dependent compute latency of one iteration's
+	// body once its loads are available.
+	ComputeCycles int
+
+	// InstrsPerIter is the instruction count of one iteration, bounding
+	// issue bandwidth.
+	InstrsPerIter int
+}
+
+// Validate checks the phase's internal consistency: stream ids dense and
+// unique, affine load streams sized to the iteration count, indirect
+// streams chained onto declared affine streams.
+func (p *Phase) Validate() error {
+	if p.NumIters == 0 {
+		// An empty phase is a pure barrier participation (e.g. a core with
+		// no blocks on an nw anti-diagonal); it must carry no work.
+		if len(p.Loads) != 0 || len(p.Stores) != 0 {
+			return fmt.Errorf("phase %s: streams declared but no iterations", p.Name)
+		}
+		return nil
+	}
+	if p.NumIters < 0 {
+		return fmt.Errorf("phase %s: negative iteration count", p.Name)
+	}
+	ids := map[int]bool{}
+	byID := map[int]stream.Decl{}
+	for _, d := range p.Loads {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("phase %s: %w", p.Name, err)
+		}
+		if ids[d.ID] {
+			return fmt.Errorf("phase %s: duplicate stream id %d", p.Name, d.ID)
+		}
+		ids[d.ID] = true
+		byID[d.ID] = d
+		if d.Affine != nil && !d.UnknownLength && d.Affine.NumElems() < p.NumIters {
+			return fmt.Errorf("phase %s: stream %s has %d elems for %d iters",
+				p.Name, d.Name, d.Affine.NumElems(), p.NumIters)
+		}
+	}
+	for _, d := range p.Loads {
+		if d.IsIndirect() {
+			base, ok := byID[d.BaseOn]
+			if !ok {
+				return fmt.Errorf("phase %s: stream %s chained on unknown id %d", p.Name, d.Name, d.BaseOn)
+			}
+			if base.Affine == nil {
+				return fmt.Errorf("phase %s: stream %s chained on non-affine stream", p.Name, d.Name)
+			}
+		}
+	}
+	for _, d := range p.Stores {
+		if d.Affine == nil {
+			return fmt.Errorf("phase %s: store stream %s must be affine", p.Name, d.Name)
+		}
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("phase %s: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// Program is the work of one core: its phases, executed in order with a
+// global barrier after each.
+type Program struct {
+	CoreID int
+	Phases []Phase
+}
+
+// Validate checks every phase.
+func (pr *Program) Validate() error {
+	for i := range pr.Phases {
+		if err := pr.Phases[i].Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalIters sums iteration counts across phases.
+func (pr *Program) TotalIters() int64 {
+	var n int64
+	for i := range pr.Phases {
+		n += pr.Phases[i].NumIters
+	}
+	return n
+}
+
+// Kernel is one benchmark: given the functional memory and the core count it
+// produces one program per core. scale linearly resizes the dataset
+// (1.0 = the calibrated bench default).
+type Kernel interface {
+	Name() string
+	Prepare(b *mem.Backing, nCores int, scale float64) []Program
+}
+
+// factories registers the benchmark suite.
+var factories = map[string]func() Kernel{}
+
+func register(name string, f func() Kernel) {
+	if _, dup := factories[name]; dup {
+		panic("workload: duplicate kernel " + name)
+	}
+	factories[name] = f
+}
+
+// Register adds a user-defined kernel to the registry (library extension
+// point; see examples/custom_kernel). It panics on duplicate names.
+func Register(name string, f func() Kernel) { register(name, f) }
+
+// New returns a fresh kernel by name.
+func New(name string) (Kernel, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown kernel %q", name)
+	}
+	return f(), nil
+}
+
+// Names lists the registered benchmarks in the paper's presentation order;
+// any extras sort alphabetically at the end.
+func Names() []string {
+	order := []string{"conv3d", "mv", "btree", "bfs", "cfd", "hotspot",
+		"hotspot3D", "nn", "nw", "particlefilter", "pathfinder", "srad"}
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range order {
+		if _, ok := factories[n]; ok {
+			out = append(out, n)
+			seen[n] = true
+		}
+	}
+	var extra []string
+	for n := range factories {
+		if !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// chunk splits [0,n) into even contiguous pieces, returning piece i's bounds.
+func chunk(n int64, pieces, i int) (lo, hi int64) {
+	p := int64(pieces)
+	lo = n * int64(i) / p
+	hi = n * int64(i+1) / p
+	return lo, hi
+}
+
+// scaled applies the linear scale factor with a floor.
+func scaled(base int64, scale float64, min int64) int64 {
+	v := int64(float64(base) * scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// roundLines rounds n elements of size elem up to a whole number of lines'
+// worth of elements.
+func roundLines(n, elem int64) int64 {
+	per := stream.ElemsPerLine(elem)
+	return (n + per - 1) / per * per
+}

@@ -1,0 +1,285 @@
+package workload
+
+import (
+	"testing"
+
+	"streamfloat/internal/mem"
+	"streamfloat/internal/stream"
+)
+
+func TestRegistryHasPaperSuite(t *testing.T) {
+	want := []string{"conv3d", "mv", "btree", "bfs", "cfd", "hotspot",
+		"hotspot3D", "nn", "nw", "particlefilter", "pathfinder", "srad"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("suite = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnknownKernel(t *testing.T) {
+	if _, err := New("nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+// TestAllKernelsValid prepares every kernel at several scales/core counts
+// and validates programs and barrier alignment.
+func TestAllKernelsValid(t *testing.T) {
+	for _, name := range Names() {
+		for _, nCores := range []int{4, 16, 64} {
+			for _, scale := range []float64{0.05, 0.3} {
+				k, err := New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bk := mem.NewBacking()
+				progs := k.Prepare(bk, nCores, scale)
+				if len(progs) != nCores {
+					t.Fatalf("%s: %d programs for %d cores", name, len(progs), nCores)
+				}
+				phases := len(progs[0].Phases)
+				var totalIters int64
+				for c, p := range progs {
+					if err := p.Validate(); err != nil {
+						t.Fatalf("%s core %d: %v", name, c, err)
+					}
+					if len(p.Phases) != phases {
+						t.Fatalf("%s: core %d has %d phases, core 0 has %d",
+							name, c, len(p.Phases), phases)
+					}
+					totalIters += p.TotalIters()
+				}
+				if totalIters == 0 {
+					t.Fatalf("%s: no work at scale %v", name, scale)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamBudget: no phase may declare more streams than the hardware
+// supports (12 per core, Table III).
+func TestStreamBudget(t *testing.T) {
+	for _, name := range Names() {
+		k, _ := New(name)
+		progs := k.Prepare(mem.NewBacking(), 16, 0.1)
+		for _, p := range progs {
+			for _, ph := range p.Phases {
+				if n := len(ph.Loads) + len(ph.Stores); n > 12 {
+					t.Errorf("%s phase %s declares %d streams (>12)", name, ph.Name, n)
+				}
+			}
+		}
+	}
+}
+
+// TestScalingMonotonic: larger scales must not shrink total work.
+func TestScalingMonotonic(t *testing.T) {
+	for _, name := range Names() {
+		sizes := make([]int64, 0, 2)
+		for _, scale := range []float64{0.1, 0.5} {
+			k, _ := New(name)
+			progs := k.Prepare(mem.NewBacking(), 8, scale)
+			var total int64
+			for _, p := range progs {
+				total += p.TotalIters()
+			}
+			sizes = append(sizes, total)
+		}
+		if sizes[1] < sizes[0] {
+			t.Errorf("%s shrinks with scale: %v", name, sizes)
+		}
+	}
+}
+
+func TestBFSIndirectChasesRealEdges(t *testing.T) {
+	k, _ := New("bfs")
+	bk := mem.NewBacking()
+	progs := k.Prepare(bk, 4, 0.1)
+	found := false
+	for _, p := range progs {
+		for _, ph := range p.Phases {
+			var base, ind *stream.Decl
+			for i := range ph.Loads {
+				if ph.Loads[i].IsIndirect() {
+					ind = &ph.Loads[i]
+				} else if ph.Loads[i].Affine != nil {
+					if ph.Loads[i].Name == "edge.dst" {
+						base = &ph.Loads[i]
+					}
+				}
+			}
+			if base == nil || ind == nil || ph.NumIters == 0 {
+				continue
+			}
+			found = true
+			// The index data must be non-trivial (real node ids).
+			var nonzero int
+			for i := int64(0); i < ph.NumIters; i++ {
+				if bk.ReadU32(base.Affine.AddrAt(i)) != 0 {
+					nonzero++
+				}
+			}
+			if nonzero == 0 {
+				t.Fatalf("bfs edge targets all zero in phase %s", ph.Name)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("bfs declares no indirect stream")
+	}
+}
+
+func TestConv3DConfluencePattern(t *testing.T) {
+	k, _ := New("conv3d")
+	progs := k.Prepare(mem.NewBacking(), 8, 0.1)
+	// Every core's input stream must be identical (the confluence source).
+	var ref *stream.Affine
+	for _, p := range progs {
+		in := p.Phases[0].Loads[0]
+		if ref == nil {
+			ref = in.Affine
+			continue
+		}
+		if !ref.Equal(*in.Affine) {
+			t.Fatal("conv3d input streams differ across cores: no confluence possible")
+		}
+	}
+}
+
+func TestHotspotOffsetGroup(t *testing.T) {
+	k, _ := New("hotspot")
+	progs := k.Prepare(mem.NewBacking(), 8, 0.1)
+	ph := progs[0].Phases[0]
+	var offs []int64
+	var center *stream.Affine
+	for _, d := range ph.Loads {
+		if d.Name == "t.c" {
+			center = d.Affine
+		}
+	}
+	if center == nil {
+		t.Fatal("no center stream")
+	}
+	for _, d := range ph.Loads {
+		if d.Name == "t.n" || d.Name == "t.s" {
+			off, ok := center.OffsetOf(*d.Affine)
+			if !ok {
+				t.Fatalf("%s is not a constant offset of t.c", d.Name)
+			}
+			offs = append(offs, off)
+		}
+	}
+	if len(offs) != 2 || offs[0] != -offs[1] {
+		t.Errorf("stencil offsets = %v", offs)
+	}
+}
+
+func TestBTreeDescentIsRealPointerChase(t *testing.T) {
+	k, _ := New("btree")
+	bk := mem.NewBacking()
+	progs := k.Prepare(bk, 4, 0.1)
+	ph := progs[0].Phases[0]
+	if ph.SeqLoads == nil || ph.NumIters == 0 {
+		t.Skip("core 0 has no lookups at this scale")
+	}
+	chain := ph.SeqLoads(0)
+	if len(chain) < 3 {
+		t.Fatalf("descent depth = %d", len(chain))
+	}
+	// Root first, then strictly different levels.
+	seen := map[uint64]bool{}
+	for _, a := range chain {
+		if seen[a] {
+			t.Fatal("descent revisits a node")
+		}
+		seen[a] = true
+	}
+}
+
+func TestParticleFilterResampleShared(t *testing.T) {
+	k, _ := New("particlefilter")
+	progs := k.Prepare(mem.NewBacking(), 8, 0.1)
+	last := progs[0].Phases[len(progs[0].Phases)-1]
+	if last.Name != "resample" {
+		t.Fatalf("last phase = %s", last.Name)
+	}
+	var ref *stream.Affine
+	for _, p := range progs {
+		ph := p.Phases[len(p.Phases)-1]
+		if ref == nil {
+			ref = ph.Loads[0].Affine
+		} else if !ref.Equal(*ph.Loads[0].Affine) {
+			t.Fatal("resample CDF streams differ across cores")
+		}
+	}
+}
+
+func TestNWDiagonalBarrierAlignment(t *testing.T) {
+	k, _ := New("nw")
+	progs := k.Prepare(mem.NewBacking(), 16, 0.2)
+	// Some phases are idle for some cores; counts must still align.
+	n := len(progs[0].Phases)
+	for _, p := range progs {
+		if len(p.Phases) != n {
+			t.Fatal("nw phases misaligned")
+		}
+	}
+	// Total work must cover every block exactly once: sum of iters =
+	// blocks^2 * blockDim.
+	var total int64
+	for _, p := range progs {
+		total += p.TotalIters()
+	}
+	side := scaled(1024, 0.2, 128)
+	side = roundLines(side, 4)
+	blocks := side / 16
+	if want := blocks * blocks * 16; total != want {
+		t.Errorf("nw total iters = %d, want %d", total, want)
+	}
+}
+
+func TestPhaseValidateRejects(t *testing.T) {
+	bad := []Phase{
+		{Name: "neg", NumIters: -1},
+		{Name: "emptywork", Loads: []stream.Decl{{ID: 0, Affine: &stream.Affine{ElemSize: 4, Strides: [3]int64{4}, Lens: [3]int64{4}}}}},
+		{Name: "short", NumIters: 100, Loads: []stream.Decl{{ID: 0, Name: "s",
+			Affine: &stream.Affine{ElemSize: 4, Strides: [3]int64{4}, Lens: [3]int64{4}}}}},
+		{Name: "dup", NumIters: 4, Loads: []stream.Decl{
+			{ID: 0, Name: "a", Affine: &stream.Affine{ElemSize: 4, Strides: [3]int64{4}, Lens: [3]int64{4}}},
+			{ID: 0, Name: "b", Affine: &stream.Affine{ElemSize: 4, Strides: [3]int64{4}, Lens: [3]int64{4}}},
+		}},
+		{Name: "orphan", NumIters: 4, Loads: []stream.Decl{
+			{ID: 1, Name: "i", BaseOn: 5, Indirect: &stream.Indirect{ElemSize: 4, Scale: 4}},
+		}},
+	}
+	for _, p := range bad {
+		p := p
+		if err := p.Validate(); err == nil {
+			t.Errorf("phase %q accepted", p.Name)
+		}
+	}
+}
+
+func TestChunkCoversRange(t *testing.T) {
+	for _, n := range []int64{0, 1, 7, 64, 1000} {
+		var total int64
+		prev := int64(0)
+		for c := 0; c < 16; c++ {
+			lo, hi := chunk(n, 16, c)
+			if lo != prev {
+				t.Fatalf("chunk gap at %d", c)
+			}
+			total += hi - lo
+			prev = hi
+		}
+		if total != n {
+			t.Fatalf("chunks cover %d of %d", total, n)
+		}
+	}
+}

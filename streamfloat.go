@@ -1,0 +1,129 @@
+// Package streamfloat is a from-scratch reproduction of "Stream Floating:
+// Enabling Proactive and Decentralized Cache Optimizations" (HPCA 2021):
+// a discrete-event simulator of a tiled multicore whose decoupled-stream
+// ISA lets long-lived access patterns float out of the core and into the
+// shared-cache stream engines, where they are fetched proactively, merged
+// across cores, and delivered without coherence bookkeeping.
+//
+// The package is a thin facade over the internal simulator:
+//
+//	cfg, _ := streamfloat.ConfigFor("SF", streamfloat.OOO8)
+//	res, _ := streamfloat.Run(cfg, "conv3d", 1.0)
+//	fmt.Println(res.Stats.Cycles, res.Stats.TotalFlitHops())
+//
+// Experiment runners regenerate every figure and table of the paper; see
+// the experiments API below, the sfexp command, and EXPERIMENTS.md.
+package streamfloat
+
+import (
+	"io"
+
+	"streamfloat/internal/config"
+	"streamfloat/internal/energy"
+	"streamfloat/internal/event"
+	"streamfloat/internal/experiments"
+	"streamfloat/internal/system"
+	"streamfloat/internal/workload"
+)
+
+// Config is the machine configuration (Table III defaults).
+type Config = config.Config
+
+// CoreKind selects the core microarchitecture.
+type CoreKind = config.CoreKind
+
+// The three evaluated cores.
+const (
+	IO4  = config.IO4
+	OOO4 = config.OOO4
+	OOO8 = config.OOO8
+)
+
+// Stream modes.
+const (
+	StreamOff = config.StreamOff
+	StreamSS  = config.StreamSS
+	StreamSF  = config.StreamSF
+)
+
+// Results is the outcome of one simulation: the full statistics plus the
+// configuration that produced them.
+type Results = system.Results
+
+// Machine is a fully built simulator instance, for callers that want to
+// inspect components or bound simulated time themselves.
+type Machine = system.Machine
+
+// Cycle is simulated time in core clock cycles.
+type Cycle = event.Cycle
+
+// AreaBreakdown reports the stream-floating hardware area (§VII-A).
+type AreaBreakdown = energy.AreaBreakdown
+
+// Kernel is the workload interface; custom kernels implement it and join
+// the registry via RegisterKernel.
+type Kernel = workload.Kernel
+
+// DefaultConfig returns the Table III machine: an 8x8 mesh of OOO8 tiles
+// with no prefetching and streams off (the Base system).
+func DefaultConfig() Config { return config.Default() }
+
+// ConfigFor returns the configuration of a named comparison system from
+// §VI: "Base", "Stride", "Bingo", "SS", "SF", "SF-Aff" or "SF-Ind".
+func ConfigFor(system string, core CoreKind) (Config, error) {
+	return config.ForSystem(system, core)
+}
+
+// Systems lists the comparison systems in the paper's presentation order.
+func Systems() []string { return config.SystemNames() }
+
+// Benchmarks lists the workload suite (10 Rodinia kernels plus mv and
+// conv3d, Table IV).
+func Benchmarks() []string { return workload.Names() }
+
+// RegisterKernel adds a custom workload to the registry.
+func RegisterKernel(name string, factory func() Kernel) {
+	workload.Register(name, factory)
+}
+
+// Build constructs a machine for cfg with the named benchmark prepared at
+// the given dataset scale (1.0 = calibrated defaults).
+func Build(cfg Config, benchmark string, scale float64) (*Machine, error) {
+	return system.Build(cfg, benchmark, scale)
+}
+
+// Run builds and runs one benchmark to completion.
+func Run(cfg Config, benchmark string, scale float64) (Results, error) {
+	return system.RunBenchmark(cfg, benchmark, scale)
+}
+
+// Area computes the stream-floating area overheads for a configuration.
+func Area(cfg Config) AreaBreakdown { return energy.Area(cfg) }
+
+// ExperimentOptions sizes an experiment sweep.
+type ExperimentOptions = experiments.Options
+
+// ExperimentTable is one regenerated figure/table.
+type ExperimentTable = experiments.Table
+
+// Experiment runs one of the paper's figures by id ("2", "13"..."19",
+// "area") and returns its table.
+func Experiment(id string, opts ExperimentOptions) (*ExperimentTable, error) {
+	fn, ok := experiments.ByName(id)
+	if !ok {
+		return nil, errUnknownExperiment(id)
+	}
+	return fn(opts)
+}
+
+// AllExperiments regenerates every figure and table, writing rendered
+// output to w.
+func AllExperiments(opts ExperimentOptions, w io.Writer) error {
+	return experiments.All(opts, w)
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "streamfloat: unknown experiment " + string(e) + " (want 2, 13-19, or area)"
+}
