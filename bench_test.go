@@ -22,8 +22,11 @@ import (
 // range; sfexp -scale 1.0 reproduces the calibrated sizes.
 const benchScale = 0.1
 
+// benchOpts disables the sanitizer explicitly: benchmarks run inside a test
+// binary, where the auto mode would otherwise turn probes on and taint the
+// throughput numbers.
 func benchOpts() experiments.Options {
-	return experiments.Options{Scale: benchScale}
+	return experiments.Options{Scale: benchScale, Sanitize: SanitizeOff}
 }
 
 // reportTable attaches a figure's headline metrics to the benchmark result
@@ -127,6 +130,7 @@ func BenchmarkSingleRun(b *testing.B) {
 			b.Fatal(err)
 		}
 		cfg.MeshWidth, cfg.MeshHeight = 4, 4
+		cfg.Sanitize = SanitizeOff
 		res, err := Run(cfg, "mv", 0.1)
 		if err != nil {
 			b.Fatal(err)

@@ -27,13 +27,18 @@ func main() {
 		scale   = flag.Float64("scale", 0.25, "dataset scale (1.0 = calibrated full size)")
 		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all 12)")
 		outPath = flag.String("out", "", "write results to a file instead of stdout")
-		par     = flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS)")
+		par     = flag.Int("par", 0, "parallel simulations (0 or negative = GOMAXPROCS)")
 		asCSV   = flag.Bool("csv", false, "emit CSV instead of an aligned table (single figure only)")
 		chart   = flag.String("chart", "", "also render an ASCII bar chart of metrics with this suffix (e.g. speedup)")
+		san     = flag.String("sanitize", "auto", "runtime invariant probes: on, off, or auto (on inside go test, off here)")
 	)
 	flag.Parse()
 
-	opts := streamfloat.ExperimentOptions{Scale: *scale, Parallelism: *par}
+	sanMode, err := streamfloat.ParseSanitizeMode(*san)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := streamfloat.ExperimentOptions{Scale: *scale, Parallelism: *par, Sanitize: sanMode}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}

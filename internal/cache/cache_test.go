@@ -2,6 +2,7 @@ package cache
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -9,6 +10,7 @@ import (
 	"streamfloat/internal/event"
 	"streamfloat/internal/mem"
 	"streamfloat/internal/noc"
+	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
 )
 
@@ -539,4 +541,95 @@ func BenchmarkColdMissPath(b *testing.B) {
 		r.sys.Access(i%16, uint64(0x4000000+i*64), Read, NoMeta, nil)
 		r.eng.Run(0)
 	}
+}
+
+// sanitizedRig is a rig with the sanitizer attached to every probe point
+// the cache package owns.
+func sanitizedRig(t testing.TB) *rig {
+	r := newRig(t, nil)
+	chk := sanitize.New(256)
+	r.sys.SetChecker(chk)
+	r.mesh.SetChecker(chk)
+	r.eng.SetChecker(chk)
+	return r
+}
+
+// TestSanitizerCleanProtocolRun drives shared/exclusive/upgrade/float
+// traffic with all probes live: no violation may fire and the end-of-run
+// audits must pass.
+func TestSanitizerCleanProtocolRun(t *testing.T) {
+	r := sanitizedRig(t)
+	const line = uint64(0x40000)
+	r.access(1, line, Read)  // cold: E grant
+	r.access(2, line, Read)  // owner forward, both become S
+	r.access(3, line, Write) // RFO: invalidates sharers, M at tile 3
+	r.access(3, line, Read)  // local hit
+	r.access(0, line+64, Write)
+	// A float read (GetU) over a directory-held line must not disturb it.
+	served := 0
+	r.sys.FloatRead(r.cfg.HomeBank(line), line, []int{5}, stats.L3FloatAffine, 64, nil,
+		func(int, event.Cycle) { served++ })
+	r.eng.Run(0)
+	if served != 1 {
+		t.Fatalf("float read served %d", served)
+	}
+	// Stripe a few more lines to exercise evictions and DRAM fills.
+	for i := uint64(0); i < 64; i++ {
+		r.access(int(i%4), 0x900000+i*64, Read)
+	}
+	r.sys.Audit()
+	r.mesh.Audit()
+}
+
+// TestFlipSharerBitCaught seeds the acceptance-criteria coherence bug: a
+// flipped sharer bit for a tile that holds no copy must be caught by the
+// MESI probe with a dump naming the line and the tile.
+func TestFlipSharerBitCaught(t *testing.T) {
+	r := sanitizedRig(t)
+	const line = uint64(0x40000)
+	r.access(1, line, Read)
+	r.access(2, line, Read) // line now shared by tiles 1 and 2
+	const victim = 7        // tile 7 never touched the line
+	if r.sys.PrivateHas(victim, line) {
+		t.Fatal("fault site invalid: tile already holds the line")
+	}
+	if !r.sys.FlipSharerBit(line, victim) {
+		t.Fatal("directory entry missing")
+	}
+	defer func() {
+		v, ok := recover().(*sanitize.Violation)
+		if !ok {
+			t.Fatal("flipped sharer bit not caught")
+		}
+		msg := v.Error()
+		for _, want := range []string{"0x40000", "tile 7", "sharer bit"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("violation dump missing %q:\n%s", want, msg)
+			}
+		}
+		// The dump must carry the line's protocol history.
+		if !strings.Contains(msg, "gets") {
+			t.Errorf("dump lacks the line's GetS trace:\n%s", msg)
+		}
+	}()
+	// The next directory access to the line trips the probe.
+	r.access(3, line, Read)
+}
+
+// TestFlipOwnerVariantCaught flips the directory into the "owner also in
+// sharer vector" state and requires the probe to catch that too.
+func TestFlipOwnerVariantCaught(t *testing.T) {
+	r := sanitizedRig(t)
+	const line = uint64(0x80000)
+	r.access(1, line, Read) // E at tile 1 (owner)
+	if !r.sys.FlipSharerBit(line, 1) {
+		t.Fatal("directory entry missing")
+	}
+	defer func() {
+		v, ok := recover().(*sanitize.Violation)
+		if !ok || !strings.Contains(v.Error(), "also appears in sharer vector") {
+			t.Fatalf("owner/sharer overlap not caught: %v", v)
+		}
+	}()
+	r.sys.Audit()
 }

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"streamfloat/internal/event"
+	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
 )
 
@@ -21,7 +22,7 @@ func (s *System) bankHandle(bank int, la uint64, reqTile int, excl bool, l3kind 
 			s.dramFill(bank, la, func() {
 				// Re-lookup: the fill installed the line.
 				if fresh := s.banks[bank].lookup(la); fresh != nil {
-					s.bankHit(bank, fresh, la, reqTile, excl, respond)
+					s.bankHitChecked(bank, fresh, la, reqTile, excl, respond)
 				} else {
 					// The freshly installed line was itself evicted by a
 					// racing fill; respond as if granting E from memory.
@@ -34,7 +35,7 @@ func (s *System) bankHandle(bank int, la uint64, reqTile int, excl bool, l3kind 
 		}
 		s.st.L3Hits++
 		s.banks[bank].touch(l)
-		s.bankHit(bank, l, la, reqTile, excl, respond)
+		s.bankHitChecked(bank, l, la, reqTile, excl, respond)
 	})
 }
 
@@ -205,6 +206,7 @@ func (s *System) installL3(bank int, la uint64) {
 func (s *System) evictL3(bank int, victim *line) {
 	va := victim.addr
 	dirty := victim.dirty
+	s.traceEvict("l3", bank, victim)
 	if victim.owner >= 0 {
 		o := int(victim.owner)
 		tc := s.tiles[o]
@@ -243,6 +245,23 @@ func (s *System) FloatRead(bank int, la uint64, dsts []int, l3kind stats.L3ReqKi
 	s.eng.Schedule(event.Cycle(s.cfg.L3.LatCycles), func(event.Cycle) {
 		s.st.L3Requests[l3kind]++
 		l := s.banks[bank].lookup(la)
+		if s.chk != nil && l != nil {
+			// GetU must never touch the sharer vector or ownership (§IV-A):
+			// snapshot the entry and re-check once this handler has applied
+			// whatever path it takes. Later demand accesses may legally
+			// mutate the entry, so the window is exactly this event.
+			s.chk.Trace(sanitize.Record{
+				Cycle: uint64(s.eng.Now()), Tile: dsts[0], Comp: "l3dir", Event: "getu",
+				Key: la, A: int64(l.sharers), B: int64(l.owner),
+			})
+			ow, sh := l.owner, l.sharers
+			defer func() {
+				if l.owner != ow || l.sharers != sh {
+					s.chk.Failf(la, "l3dir[%d]: GetU for line %#x mutated directory state: sharers %#x->%#x, owner %d->%d",
+						bank, la, sh, l.sharers, ow, l.owner)
+				}
+			}()
+		}
 		send := func() {
 			if onBankReady != nil {
 				onBankReady(s.eng.Now())

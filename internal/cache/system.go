@@ -5,6 +5,7 @@ import (
 	"streamfloat/internal/event"
 	"streamfloat/internal/mem"
 	"streamfloat/internal/noc"
+	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
 )
 
@@ -58,6 +59,9 @@ type System struct {
 
 	// fillMSHR merges concurrent DRAM fills per bank and line.
 	fillMSHR []map[uint64][]func()
+
+	// chk, when non-nil, attaches the sanitizer probes (see sanitize.go).
+	chk *sanitize.Checker
 
 	// Observers wired by the system assembly (prefetchers, stream engines).
 	l1Observer     func(tile int, addr uint64, pc uint32, hit bool)
@@ -342,6 +346,7 @@ func (s *System) fetch(tile int, la uint64, excl bool, l3kind stats.L3ReqKind, m
 // waiters.
 func (s *System) finishFetch(tile int, la uint64, granted state, meta Meta, kind Kind) {
 	tc := s.tiles[tile]
+	s.traceFill(tile, la, granted)
 	s.fillL2(tile, la, granted, meta, kind)
 	if kind != PrefL2 {
 		s.fillL1(tile, la, kind == PrefL1 || kind == StreamRead, meta)
@@ -421,6 +426,7 @@ func (s *System) evictL2(tile int, victim *line) {
 	va := victim.addr
 	home := s.cfg.HomeBank(va)
 	dirty := victim.dirty || victim.state == stModified
+	s.traceEvict("l2", tile, victim)
 
 	s.st.L2Evictions++
 	if !dirty && !victim.reused {

@@ -8,6 +8,8 @@ package config
 import (
 	"errors"
 	"fmt"
+
+	"streamfloat/internal/sanitize"
 )
 
 // CoreKind selects one of the three evaluated core microarchitectures.
@@ -175,7 +177,16 @@ type Config struct {
 	// ConfluenceBlock is the edge of the tile block within which streams
 	// may merge (2 in the paper: 2x2 blocks).
 	ConfluenceBlock int
+
+	// Sanitize selects whether runtime invariant probes (MESI directory
+	// consistency, flit conservation, credit/FIFO bounds, event-queue
+	// monotonicity) are attached to the machine. The zero value is
+	// sanitize.ModeAuto: probes on under "go test", off otherwise.
+	Sanitize sanitize.Mode
 }
+
+// SanitizeEnabled resolves the Sanitize mode for this run.
+func (c Config) SanitizeEnabled() bool { return c.Sanitize.Enabled() }
 
 // Default returns the Table III configuration: 8x8 OOO8 tiles, 256-bit links,
 // no prefetching, streams off (the Base system). Callers toggle Prefetch /
@@ -334,6 +345,9 @@ func (c Config) Validate() error {
 	}
 	if c.ConfluenceBlock <= 0 {
 		return errors.New("config: ConfluenceBlock must be positive")
+	}
+	if !c.Sanitize.Valid() {
+		return fmt.Errorf("config: Sanitize mode %d out of range", int(c.Sanitize))
 	}
 	return nil
 }

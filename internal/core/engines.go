@@ -1,16 +1,31 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"streamfloat/internal/cache"
 	"streamfloat/internal/config"
 	"streamfloat/internal/event"
 	"streamfloat/internal/mem"
 	"streamfloat/internal/noc"
+	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
 	"streamfloat/internal/workload"
 )
+
+// sortedKeys returns a map's keys in ascending order. Map iteration order
+// is randomized, and several engine paths fire event-scheduling callbacks
+// while draining maps — a fixed order keeps simulations deterministic.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
 
 // streamKey uniquely identifies one configured (floated) stream instance.
 // gen disambiguates reconfigurations of the same (tile, sid) across phases.
@@ -40,6 +55,9 @@ type Engines struct {
 	registry map[streamKey]*l3Stream
 
 	gen uint64
+
+	// san, when non-nil, attaches the sanitizer probes (see sanitize.go).
+	san *sanitize.Checker
 }
 
 // NewEngines builds the stream engines for the configured machine and wires
@@ -74,14 +92,29 @@ func NewEngines(eng *event.Engine, st *stats.Stats, cfg config.Config, mesh *noc
 // a sink. (The directory consults the stream registry directly; in hardware
 // each visited SE_L3 keeps the range registers until deallocation.)
 func (e *Engines) checkStreamGrain(bank int, lineAddr uint64, writerTile int) {
+	var hit []*l3Stream
 	for _, s := range e.registry {
 		if s.dead || s.reqTile == writerTile || s.group.dead {
 			continue
 		}
 		if lineAddr >= s.rangeLo && lineAddr < s.rangeHi && s.rangeHi != 0 {
-			e.st.StreamInvalidations++
-			e.cores[s.reqTile].sinkStream(s.group.owner, true)
+			hit = append(hit, s)
 		}
+	}
+	// Sink in a fixed order: the registry is a map, and sinking schedules
+	// re-execution events.
+	slices.SortFunc(hit, func(a, b *l3Stream) int {
+		if c := cmp.Compare(a.key.tile, b.key.tile); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.key.sid, b.key.sid); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.key.gen, b.key.gen)
+	})
+	for _, s := range hit {
+		e.st.StreamInvalidations++
+		e.cores[s.reqTile].sinkStream(s.group.owner, true)
 	}
 }
 

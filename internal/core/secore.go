@@ -82,6 +82,10 @@ type coreStream struct {
 	inflight  int
 	elems     map[int64]*indElem
 	indirects []*coreStream // children of an affine stream
+
+	// Sanitizer element-conservation books (only maintained with a
+	// checker attached): requests issued, requests served, retirements.
+	sanReq, sanServed, sanRel int64
 }
 
 // seCore is the per-tile core stream engine.
@@ -282,6 +286,7 @@ func (c *seCore) applyFloatPolicy(affines []*coreStream, leaders map[*coreStream
 func (c *seCore) floatStream(s *coreStream, startElem int64) {
 	s.kind = csFloatLeader
 	s.floatFrom = startElem
+	c.e.sanTrace(c.tile, "secore", "float", sanStreamKey(c.tile, s.decl.ID), startElem, int64(len(s.indirects)))
 	var children []stream.Decl
 	if c.e.cfg.FloatIndirect {
 		for _, ind := range s.indirects {
@@ -295,12 +300,14 @@ func (c *seCore) floatStream(s *coreStream, startElem int64) {
 	// Switch trailing offset-group members over to buffer service, routing
 	// any requests parked behind their (now stopped) FIFOs by address.
 	if s.leader == s {
-		for _, m := range c.streams {
+		for _, sid := range sortedKeys(c.streams) {
+			m := c.streams[sid]
 			if m.leader != s || m == s || m.kind != csCached {
 				continue
 			}
 			m.kind = csFloatServed
-			for e, cbs := range m.demand {
+			for _, e := range sortedKeys(m.demand) {
+				cbs := m.demand[e]
 				delete(m.demand, e)
 				addr := m.decl.Affine.AddrAt(e)
 				for _, cb := range cbs {
@@ -330,10 +337,11 @@ func (c *seCore) floatStream(s *coreStream, startElem int64) {
 	// Mid-phase float: requests parked beyond the cached prefetch frontier
 	// will never be walked by the (now stopped) SEcore FIFO — reroute them
 	// through the floated path.
-	for e, cbs := range s.demand {
+	for _, e := range sortedKeys(s.demand) {
 		if e < startElem {
 			continue
 		}
+		cbs := s.demand[e]
 		delete(s.demand, e)
 		for _, cb := range cbs {
 			if !c.e.l2s[c.tile].requestLeader(s.group, e, cb) {
@@ -345,7 +353,8 @@ func (c *seCore) floatStream(s *coreStream, startElem int64) {
 		if ind.kind != csIndirectFloat {
 			continue
 		}
-		for e, el := range ind.elems {
+		for _, e := range sortedKeys(ind.elems) {
+			el := ind.elems[e]
 			if e < startElem || el.issued {
 				continue
 			}
@@ -390,6 +399,7 @@ func (c *seCore) issueLines(s *coreStream) {
 			cache.Meta{PC: s.decl.PC, StreamID: s.decl.ID},
 			func(now event.Cycle) { c.lineArrived(s, seq, now-issuedAt) })
 	}
+	c.sanCheckFIFO(s)
 }
 
 // lineArrived completes a cached stream line: wakes element waiters, feeds
@@ -459,6 +469,14 @@ func (c *seCore) requestElement(sid int, idx int64, cb func(event.Cycle)) {
 	s := c.streams[sid]
 	if idx > s.lastReq {
 		s.lastReq = idx
+	}
+	if c.e.san != nil {
+		s.sanReq++
+		inner := cb
+		cb = func(now event.Cycle) {
+			s.sanServed++
+			inner(now)
+		}
 	}
 	if c.pendingDbg != nil {
 		c.pendingDbg[sid]++
@@ -598,6 +616,9 @@ func (c *seCore) fallback(addr uint64, d stream.Decl, cb func(event.Cycle)) {
 // releaseElement implements stream_step retirement.
 func (c *seCore) releaseElement(sid int, idx int64) {
 	s := c.streams[sid]
+	if c.e.san != nil {
+		s.sanRel++
+	}
 	switch s.kind {
 	case csCached:
 		c.releaseCached(s, idx)
@@ -640,6 +661,11 @@ func (c *seCore) sinkStream(s *coreStream, aliased bool) {
 	if s.kind != csFloatLeader {
 		return
 	}
+	var al int64
+	if aliased {
+		al = 1
+	}
+	c.e.sanTrace(c.tile, "secore", "sink", sanStreamKey(c.tile, s.decl.ID), s.lastReq, al)
 	c.e.st.StreamsSunk++
 	s.hist.floated = false
 	s.hist.sunk = true
@@ -681,10 +707,13 @@ func (c *seCore) sinkStream(s *coreStream, aliased bool) {
 
 // endPhase implements stream_end for every configured stream.
 func (c *seCore) endPhase() {
-	for _, s := range c.streams {
+	for _, sid := range sortedKeys(c.streams) {
+		s := c.streams[sid]
 		if s.kind == csFloatLeader && s.group != nil {
 			c.e.l2s[c.tile].terminate(s.group, false)
 		}
+		c.e.sanTrace(c.tile, "secore", "end", sanStreamKey(c.tile, s.decl.ID), s.sanReq, s.sanRel)
+		c.sanCheckElements(s)
 	}
 	c.streams = nil
 	c.phase = nil

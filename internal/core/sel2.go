@@ -136,10 +136,13 @@ func (l *seL2) configureStream(owner *coreStream, startElem int64, children []st
 		delete(l.groups, g.key)
 		return g
 	}
+	l.e.sanTrace(l.tile, "sel2", "cfg", sanStreamKey(g.key.tile, g.key.sid), startElem, g.granted)
+	l.sanCheckCredits(g)
 	l.e.st.StreamConfigs++
 	l.e.st.TLBTranslations++
 	bank := l.e.cfg.HomeBank(first.addr)
 	payload := stream.ConfigBytes(len(children))
+	l.sanCheckWire(g, startElem, payload)
 	startSeq := first.seq
 	credits := int(g.granted)
 	l.e.mesh.Send(l.tile, bank, stats.ClassStream, payload, func(event.Cycle) {
@@ -198,6 +201,7 @@ func (l *seL2) arrive(g *l2Group, seq int64) {
 	g.order = append(g.order, b)
 	g.buffered++
 	g.evictOverflow()
+	l.sanCheckBuffer(g)
 }
 
 // setOnArrive installs the per-line arrival hook (SF-Aff indirect chaining).
@@ -369,15 +373,18 @@ func (l *seL2) releaseLeader(g *l2Group, idx int64) {
 		delete(g.bySeq, b.seq)
 	}
 	g.consumed++
+	l.sanCheckCredits(g)
 	if g.dead || g.consumed-g.lastCredit < int64(g.chunk) {
 		return
 	}
 	g.lastCredit = g.consumed
 	first := g.grantLines(g.chunk)
+	l.sanCheckCredits(g)
 	if first == nil {
 		return // pattern fully granted; SE_L3 finishes on current credits
 	}
 	n := int(g.granted) // new absolute credit level
+	l.e.sanTrace(l.tile, "sel2", "credit", sanStreamKey(g.key.tile, g.key.sid), g.granted, g.consumed)
 	l.e.st.StreamCredits++
 	l.e.st.TLBTranslations++
 	bank := l.e.cfg.HomeBank(first.addr)
@@ -397,29 +404,39 @@ func (l *seL2) terminate(g *l2Group, sink bool) {
 	if g == nil || g.dead {
 		return
 	}
+	var sk int64
+	if sink {
+		sk = 1
+	}
+	l.e.sanTrace(l.tile, "sel2", "term", sanStreamKey(g.key.tile, g.key.sid), g.consumed, sk)
 	g.dead = true
 	delete(l.groups, g.key)
 	// Serve anyone still waiting with plain loads so no request is lost.
-	for _, b := range g.bySeq {
+	// These are maps, and fallback schedules events: drain in key order so
+	// the simulation stays deterministic.
+	for _, seq := range sortedKeys(g.bySeq) {
+		b := g.bySeq[seq]
 		for _, w := range b.waiters {
 			l.e.cores[l.tile].fallback(b.addr, g.decl, w)
 		}
 		b.waiters = nil
 	}
-	for e, ws := range g.pendingGrant {
-		for _, w := range ws {
+	for _, e := range sortedKeys(g.pendingGrant) {
+		for _, w := range g.pendingGrant[e] {
 			l.e.cores[l.tile].fallback(g.baseAff.AddrAt(e), g.decl, w)
 		}
 		delete(g.pendingGrant, e)
 	}
-	for sid, states := range g.ind {
+	for _, sid := range sortedKeys(g.ind) {
+		states := g.ind[sid]
 		var child *stream.Decl
 		for i := range g.children {
 			if g.children[i].ID == sid {
 				child = &g.children[i]
 			}
 		}
-		for idx, st := range states {
+		for _, idx := range sortedKeys(states) {
+			st := states[idx]
 			for _, w := range st.waiters {
 				v := l.e.bk.ReadU32(g.baseAff.AddrAt(idx))
 				l.e.cores[l.tile].fallback(child.Indirect.AddrFor(uint64(v)), *child, w)

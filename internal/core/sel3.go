@@ -39,6 +39,11 @@ type l3Stream struct {
 // addCredits raises the absolute credit level (called on credit-message
 // delivery) and wakes the stream's bank.
 func (s *l3Stream) addCredits(level int) {
+	if s.eng.san != nil && s.group != nil && !s.group.dead && int64(level) > s.group.granted {
+		s.eng.san.Failf(sanStreamKey(s.key.tile, s.key.sid),
+			"sel3: stream (tile %d, sid %d) received credit level %d beyond the SE_L2 grant frontier %d",
+			s.key.tile, s.key.sid, level, s.group.granted)
+	}
 	if level > s.creditLevel {
 		s.creditLevel = level
 	}
@@ -278,6 +283,7 @@ func (b *seL3) tryIssue(g *confGroup) bool {
 	for _, m := range cands {
 		m.lastPage = ref.addr >> 12
 		m.issued++
+		b.sanCheckIssue(m)
 		if m.rangeLo == 0 || ref.addr < m.rangeLo {
 			m.rangeLo = ref.addr
 		}

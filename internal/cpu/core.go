@@ -16,6 +16,7 @@ import (
 	"streamfloat/internal/config"
 	"streamfloat/internal/event"
 	"streamfloat/internal/mem"
+	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
 	"streamfloat/internal/stream"
 	"streamfloat/internal/workload"
@@ -64,7 +65,17 @@ type Core struct {
 
 	phaseIdx  int
 	phaseDone func()
+
+	// chk, when non-nil, attaches the sanitizer probes: load-queue bound,
+	// negative-counter detection, and phase-completion residue checks.
+	chk *sanitize.Checker
 }
+
+// SetChecker attaches sanitizer probes to the core. nil detaches.
+func (c *Core) SetChecker(chk *sanitize.Checker) { c.chk = chk }
+
+// sanKey tags this core's trace records.
+func (c *Core) sanKey() uint64 { return uint64(0xC)<<56 | uint64(c.ID) }
 
 // NewCore builds a core bound to its program.
 func NewCore(id int, eng *event.Engine, st *stats.Stats, params config.CoreParams,
@@ -78,6 +89,12 @@ func (c *Core) NumPhases() int { return len(c.prog.Phases) }
 // BeginPhase starts executing phase idx; done fires when every iteration has
 // retired and all stores have drained (the core has reached the barrier).
 func (c *Core) BeginPhase(idx int, done func()) {
+	if c.chk != nil {
+		c.chk.Trace(sanitize.Record{
+			Cycle: uint64(c.eng.Now()), Tile: c.ID, Comp: "cpu", Event: "phase",
+			Key: c.sanKey(), A: int64(idx), B: c.prog.Phases[idx].NumIters,
+		})
+	}
 	c.phaseIdx = idx
 	c.phase = &c.prog.Phases[idx]
 	c.phaseDone = done
@@ -227,9 +244,15 @@ func (c *Core) chaseChain(addrs []uint64, k int, done func(event.Cycle)) {
 func (c *Core) plainLoad(addr uint64, pc uint32, sid int, done func(event.Cycle)) {
 	issue := func() {
 		c.outLoads++
+		if c.chk != nil && c.outLoads > c.params.LQSize {
+			c.chk.Failf(c.sanKey(), "cpu: core %d has %d loads in flight, LQ size %d", c.ID, c.outLoads, c.params.LQSize)
+		}
 		start := c.eng.Now()
 		c.mem.Access(c.ID, addr, cache.Read, cache.Meta{PC: pc, StreamID: sid}, func(now event.Cycle) {
 			c.outLoads--
+			if c.chk != nil && c.outLoads < 0 {
+				c.chk.Failf(c.sanKey(), "cpu: core %d load-queue count went negative", c.ID)
+			}
 			c.st.RecordLoadLatency(uint64(now - start))
 			c.drainLoadQ()
 			done(now)
@@ -315,6 +338,16 @@ func (c *Core) Progress() string {
 func (c *Core) maybeFinishPhase() {
 	if c.phase == nil || c.retired != c.phase.NumIters || c.outStores != 0 {
 		return
+	}
+	if c.chk != nil {
+		if c.inflight != 0 {
+			c.chk.Failf(c.sanKey(), "cpu: core %d finished phase %d with %d iterations still in flight",
+				c.ID, c.phaseIdx, c.inflight)
+		}
+		if len(c.loadQ) != 0 || len(c.storeQ) != 0 || c.outLoads != 0 {
+			c.chk.Failf(c.sanKey(), "cpu: core %d finished phase %d with queued work (loadQ %d, storeQ %d, outLoads %d)",
+				c.ID, c.phaseIdx, len(c.loadQ), len(c.storeQ), c.outLoads)
+		}
 	}
 	done := c.phaseDone
 	c.phaseDone = nil

@@ -8,7 +8,11 @@
 // statistics.
 package event
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"streamfloat/internal/sanitize"
+)
 
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle uint64
@@ -53,7 +57,13 @@ type Engine struct {
 	queue  eventHeap
 	fired  uint64
 	paused bool
+	chk    *sanitize.Checker
 }
+
+// SetChecker attaches sanitizer probes: every popped event is checked for
+// time monotonicity (the queue must never hand back an event earlier than
+// the cycle the engine has already advanced to). nil detaches.
+func (e *Engine) SetChecker(chk *sanitize.Checker) { e.chk = chk }
 
 // New returns an empty engine positioned at cycle 0.
 func New() *Engine { return &Engine{} }
@@ -93,6 +103,10 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	it := heap.Pop(&e.queue).(item)
+	if e.chk != nil && it.when < e.now {
+		e.chk.Failf(0, "event: time moved backwards: popped event for cycle %d (seq %d) at now=%d",
+			it.when, it.seq, e.now)
+	}
 	e.now = it.when
 	e.fired++
 	it.fn(e.now)

@@ -16,6 +16,7 @@ import (
 
 	"streamfloat/internal/config"
 	"streamfloat/internal/energy"
+	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
 	"streamfloat/internal/system"
 	"streamfloat/internal/workload"
@@ -27,8 +28,20 @@ type Options struct {
 	Scale float64
 	// Benchmarks restricts the suite (nil = all 12).
 	Benchmarks []string
-	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	// Parallelism bounds concurrent simulations (0 or negative = GOMAXPROCS).
 	Parallelism int
+	// Sanitize sets every simulation's runtime invariant checking: the zero
+	// value (auto) turns probes on inside test binaries and off elsewhere.
+	Sanitize sanitize.Mode
+}
+
+// parallelism resolves the concurrency bound, clamping zero and negative
+// values to GOMAXPROCS.
+func (o Options) parallelism() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
 }
 
 func (o Options) benchmarks() []string {
@@ -107,10 +120,7 @@ type runKey struct {
 // runAll executes the given runs in parallel and returns results in input
 // order.
 func runAll(opts Options, keys []runKey) ([]system.Results, error) {
-	par := opts.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
+	par := opts.parallelism()
 	results := make([]system.Results, len(keys))
 	errs := make([]error, len(keys))
 	sem := make(chan struct{}, par)
@@ -126,6 +136,7 @@ func runAll(opts Options, keys []runKey) ([]system.Results, error) {
 				errs[i] = err
 				return
 			}
+			cfg.Sanitize = opts.Sanitize
 			if k.mutate != nil {
 				k.mutate(&cfg)
 			}

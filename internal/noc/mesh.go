@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"streamfloat/internal/event"
+	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
 )
 
@@ -41,7 +42,21 @@ type Mesh struct {
 	// link leaving tile in dir can accept a new head flit.
 	linkFree []event.Cycle
 	numLinks int
+
+	// Sanitizer state: flit-conservation books per message class. A nil
+	// chk disables all probes.
+	chk          *sanitize.Checker
+	sanInjected  [stats.NumClasses]uint64 // flits placed on links
+	sanDrained   [stats.NumClasses]uint64 // flits whose message fully delivered
+	sanInFlight  uint64                   // deliveries scheduled but not yet invoked
+	sanDelivered uint64
 }
+
+// SetChecker attaches sanitizer probes: every Send/Multicast is traced and
+// double-entry flit books are kept so Audit can prove that every flit
+// injected into the mesh was drained by a delivery (per message class) and
+// that no delivery callback was lost. nil detaches.
+func (m *Mesh) SetChecker(chk *sanitize.Checker) { m.chk = chk }
 
 // New builds a w x h mesh with the given link width in bits and per-hop
 // router/link latencies.
@@ -132,8 +147,14 @@ func (m *Mesh) Send(src, dst int, class stats.MsgClass, payloadBytes int, delive
 	if src == dst {
 		// Local delivery through the tile's crossbar: one cycle, no link
 		// traffic.
+		if m.chk != nil {
+			deliver = m.probeMessage(src, dst, class, 0, deliver)
+		}
 		m.eng.Schedule(1, deliver)
 		return
+	}
+	if m.chk != nil {
+		deliver = m.probeMessage(src, dst, class, flits, deliver)
 	}
 	m.st.Flits[class] += uint64(flits)
 	arrive := m.eng.Now()
@@ -166,6 +187,26 @@ func (m *Mesh) Multicast(src int, dsts []int, class stats.MsgClass, payloadBytes
 	flits := m.Flits(payloadBytes)
 	m.st.Messages[class]++
 	m.st.Flits[class] += uint64(flits)
+	if m.chk != nil {
+		// The tree carries the flits once however many branches deliver
+		// them; drain the books when the last destination has been served.
+		m.sanInjected[class] += uint64(flits)
+		m.sanInFlight += uint64(len(dsts))
+		m.chk.Trace(sanitize.Record{
+			Cycle: uint64(m.eng.Now()), Tile: src, Comp: "noc", Event: "mcast",
+			Key: nocKey(src, dsts[0]), A: int64(flits), B: int64(len(dsts)),
+		})
+		inner := deliver
+		remaining := len(dsts)
+		deliver = func(dst int, now event.Cycle) {
+			m.sanInFlight--
+			m.sanDelivered++
+			if remaining--; remaining == 0 {
+				m.sanDrained[class] += uint64(flits)
+			}
+			inner(dst, now)
+		}
+	}
 	// Union of links across destination paths; each tree link carries the
 	// flits exactly once.
 	seen := make(map[int]event.Cycle) // link -> arrival at link head
@@ -201,6 +242,55 @@ func (m *Mesh) Multicast(src int, dsts []int, class stats.MsgClass, payloadBytes
 	}
 	if unicastHops > treeHops {
 		m.st.MulticastSave += uint64((unicastHops - treeHops) * flits)
+	}
+}
+
+// nocKey tags a src/dst pair for trace filtering without colliding with
+// the line addresses and stream keys other components use.
+func nocKey(src, dst int) uint64 {
+	return uint64(0xA)<<56 | uint64(src)<<16 | uint64(dst)
+}
+
+// probeMessage books one unicast message into the sanitizer's conservation
+// accounts and returns a wrapped delivery callback that balances them.
+// flits is 0 for local (src == dst) deliveries, which never touch a link.
+func (m *Mesh) probeMessage(src, dst int, class stats.MsgClass, flits int, deliver func(event.Cycle)) func(event.Cycle) {
+	m.sanInjected[class] += uint64(flits)
+	m.sanInFlight++
+	m.chk.Trace(sanitize.Record{
+		Cycle: uint64(m.eng.Now()), Tile: src, Comp: "noc", Event: "send:" + class.String(),
+		Key: nocKey(src, dst), A: int64(flits), B: int64(dst),
+	})
+	return func(now event.Cycle) {
+		m.sanInFlight--
+		m.sanDelivered++
+		m.sanDrained[class] += uint64(flits)
+		deliver(now)
+	}
+}
+
+// Audit verifies the end-of-run conservation laws: no delivery is still in
+// flight, every injected flit was drained by a completed delivery, and the
+// sanitizer's independent books agree with the Stats the figures report.
+// It is a no-op without an attached checker; call it only once the event
+// queue has drained (in-flight messages are not violations mid-run).
+func (m *Mesh) Audit() {
+	if m.chk == nil {
+		return
+	}
+	if m.sanInFlight != 0 {
+		m.chk.Failf(0, "noc: %d deliveries still in flight after run completed (%d delivered)",
+			m.sanInFlight, m.sanDelivered)
+	}
+	for c := stats.MsgClass(0); c < stats.NumClasses; c++ {
+		if m.sanInjected[c] != m.sanDrained[c] {
+			m.chk.Failf(0, "noc: class %v flit books unbalanced: injected %d, drained %d",
+				c, m.sanInjected[c], m.sanDrained[c])
+		}
+		if m.sanInjected[c] != m.st.Flits[c] {
+			m.chk.Failf(0, "noc: class %v stats disagree with sanitizer books: Stats.Flits=%d, injected=%d",
+				c, m.st.Flits[c], m.sanInjected[c])
+		}
 	}
 }
 

@@ -2,10 +2,12 @@ package noc
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"streamfloat/internal/event"
+	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
 )
 
@@ -210,4 +212,62 @@ func BenchmarkMeshSend(b *testing.B) {
 		}
 	}
 	eng.Run(0)
+}
+
+// TestAuditBalancedBooks drives unicast, local and multicast traffic with
+// the sanitizer attached and requires the flit books to balance.
+func TestAuditBalancedBooks(t *testing.T) {
+	eng := event.New()
+	st := &stats.Stats{}
+	m := New(eng, st, 4, 4, 256, 5, 1)
+	m.SetChecker(sanitize.New(64))
+
+	delivered := 0
+	m.Send(0, 15, stats.ClassData, 64, func(event.Cycle) { delivered++ })
+	m.Send(3, 3, stats.ClassCtrlReq, 8, func(event.Cycle) { delivered++ })
+	m.Multicast(5, []int{1, 5, 9, 13}, stats.ClassStream, 32, func(int, event.Cycle) { delivered++ })
+	eng.Run(0)
+	if delivered != 6 {
+		t.Fatalf("delivered = %d, want 6", delivered)
+	}
+	m.Audit() // must not panic
+	if m.sanDelivered != 6 {
+		t.Errorf("sanitizer counted %d deliveries", m.sanDelivered)
+	}
+}
+
+// TestAuditCatchesLostDelivery corrupts the in-flight count (as a dropped
+// callback would) and requires Audit to raise a violation naming it.
+func TestAuditCatchesLostDelivery(t *testing.T) {
+	eng := event.New()
+	m := New(eng, &stats.Stats{}, 2, 2, 256, 5, 1)
+	m.SetChecker(sanitize.New(64))
+	m.Send(0, 3, stats.ClassData, 64, func(event.Cycle) {})
+	eng.Run(0)
+	m.sanInFlight++ // simulate a lost delivery
+	defer func() {
+		v, ok := recover().(*sanitize.Violation)
+		if !ok || !strings.Contains(v.Error(), "still in flight") {
+			t.Fatalf("audit did not flag the lost delivery: %v", v)
+		}
+	}()
+	m.Audit()
+}
+
+// TestAuditCatchesFlitImbalance breaks the injected/drained books and
+// requires Audit to flag the message class.
+func TestAuditCatchesFlitImbalance(t *testing.T) {
+	eng := event.New()
+	m := New(eng, &stats.Stats{}, 2, 2, 256, 5, 1)
+	m.SetChecker(sanitize.New(64))
+	m.Send(0, 3, stats.ClassStream, 64, func(event.Cycle) {})
+	eng.Run(0)
+	m.sanDrained[stats.ClassStream] -= 1
+	defer func() {
+		v, ok := recover().(*sanitize.Violation)
+		if !ok || !strings.Contains(v.Error(), "flit books unbalanced") {
+			t.Fatalf("audit did not flag the imbalance: %v", v)
+		}
+	}()
+	m.Audit()
 }

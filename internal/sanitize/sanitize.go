@@ -1,0 +1,212 @@
+// Package sanitize is the simulator's runtime invariant-checking and
+// violation-tracing layer. Components that opt in (the event kernel, cache
+// hierarchy, NoC and stream engines) share one Checker per simulated
+// machine: they append compact trace records to a bounded ring buffer as
+// protocol events happen, and call Failf/Checkf when a machine-checked
+// invariant breaks. A violation panics with a *Violation carrying the most
+// recent trace records for the offending line/stream/link, turning "a
+// figure is off by 4%" debugging into a pinpointed protocol trace.
+//
+// The layer is pluggable: a nil *Checker disables every probe at the cost
+// of one pointer comparison, so benchmarks run probe-free while tests get
+// the probes by default (see Mode).
+package sanitize
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Mode selects whether sanitizer probes are attached to a machine.
+type Mode int
+
+const (
+	// ModeAuto (the zero value) enables probes when running under "go
+	// test" and disables them otherwise, so every test exercises the
+	// probes for free while production runs pay nothing.
+	ModeAuto Mode = iota
+	// ModeOn always attaches the probes.
+	ModeOn
+	// ModeOff never attaches them (benchmarks use this explicitly, since
+	// they too run under the test binary).
+	ModeOff
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeOn:
+		return "on"
+	case ModeOff:
+		return "off"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode converts a command-line spelling ("auto", "on", "off") to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "auto", "":
+		return ModeAuto, nil
+	case "on", "true", "1":
+		return ModeOn, nil
+	case "off", "false", "0":
+		return ModeOff, nil
+	}
+	return ModeAuto, fmt.Errorf("sanitize: unknown mode %q (want auto, on or off)", s)
+}
+
+// Enabled resolves the mode to a concrete decision.
+func (m Mode) Enabled() bool {
+	switch m {
+	case ModeOn:
+		return true
+	case ModeOff:
+		return false
+	}
+	return testing.Testing()
+}
+
+// Valid reports whether m is one of the three defined modes.
+func (m Mode) Valid() bool { return m >= ModeAuto && m <= ModeOff }
+
+// Record is one entry in the trace ring: a protocol event stamped with the
+// cycle it happened, the tile (or bank, or -1 when not applicable) it
+// happened on, a short component tag ("l3dir", "noc", "sel2", ...) and an
+// event name. Key identifies the object the event concerns — a line
+// address, a stream key, a link index — and is what violation dumps filter
+// on. A and B carry two event-specific integers (old/new state, counts),
+// kept raw so tracing never formats strings on the hot path.
+type Record struct {
+	Cycle uint64
+	Tile  int
+	Comp  string
+	Event string
+	Key   uint64
+	A, B  int64
+}
+
+func (r Record) String() string {
+	return fmt.Sprintf("cycle=%-9d tile=%-3d %-6s %-14s key=%#x a=%d b=%d",
+		r.Cycle, r.Tile, r.Comp, r.Event, r.Key, r.A, r.B)
+}
+
+// DefaultDepth is the trace ring capacity used by New callers that have no
+// reason to choose: deep enough to span the protocol window of a line or
+// stream, small enough to be free to keep around.
+const DefaultDepth = 4096
+
+// DumpRecords bounds how many trace records a violation message includes.
+const DumpRecords = 32
+
+// Checker is the shared sanitizer state for one simulated machine. It is
+// not safe for concurrent use; like every simulator component it lives on
+// the single event-loop goroutine of its machine, so parallel experiment
+// sweeps each get their own Checker.
+type Checker struct {
+	ring []Record
+	pos  int
+	full bool
+
+	traced     uint64
+	violations uint64
+}
+
+// New returns a Checker with a trace ring of the given depth (DefaultDepth
+// when depth <= 0).
+func New(depth int) *Checker {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	return &Checker{ring: make([]Record, depth)}
+}
+
+// Trace appends one record to the ring, evicting the oldest when full.
+func (c *Checker) Trace(r Record) {
+	c.ring[c.pos] = r
+	c.pos++
+	if c.pos == len(c.ring) {
+		c.pos = 0
+		c.full = true
+	}
+	c.traced++
+}
+
+// Traced reports how many records have ever been appended (including those
+// already evicted from the ring).
+func (c *Checker) Traced() uint64 { return c.traced }
+
+// Recent returns up to max of the newest records whose Key equals key,
+// oldest first. key == 0 matches every record.
+func (c *Checker) Recent(key uint64, max int) []Record {
+	n := c.pos
+	if c.full {
+		n = len(c.ring)
+	}
+	// Scan newest to oldest, then reverse.
+	out := make([]Record, 0, max)
+	for i := 0; i < n && len(out) < max; i++ {
+		idx := c.pos - 1 - i
+		if idx < 0 {
+			idx += len(c.ring)
+		}
+		r := c.ring[idx]
+		if key == 0 || r.Key == key {
+			out = append(out, r)
+		}
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Violation is the panic value raised by Failf: the formatted invariant
+// failure plus the trace records that led up to it.
+type Violation struct {
+	Msg   string
+	Key   uint64
+	Trace []Record
+}
+
+func (v *Violation) Error() string {
+	var b strings.Builder
+	b.WriteString("sanitize: ")
+	b.WriteString(v.Msg)
+	if len(v.Trace) == 0 {
+		b.WriteString("\n  (no trace records recorded for this key)")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "\n  last %d trace records (oldest first):", len(v.Trace))
+	for _, r := range v.Trace {
+		b.WriteString("\n    ")
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
+// Failf records a violation and panics with a *Violation whose trace dump
+// is filtered to records matching key (falling back to the newest records
+// of any key when none match, so the dump is never empty while the ring
+// has entries).
+func (c *Checker) Failf(key uint64, format string, args ...any) {
+	c.violations++
+	dump := c.Recent(key, DumpRecords)
+	if len(dump) == 0 {
+		dump = c.Recent(0, DumpRecords/2)
+	}
+	panic(&Violation{Msg: fmt.Sprintf(format, args...), Key: key, Trace: dump})
+}
+
+// Checkf is Failf gated on a condition: it panics iff cond is false.
+func (c *Checker) Checkf(cond bool, key uint64, format string, args ...any) {
+	if !cond {
+		c.Failf(key, format, args...)
+	}
+}
+
+// Violations reports how many Failf calls this checker has raised. Only
+// observable from a recover() handler, since Failf panics.
+func (c *Checker) Violations() uint64 { return c.violations }

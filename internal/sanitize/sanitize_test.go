@@ -1,0 +1,146 @@
+package sanitize
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModeEnabled(t *testing.T) {
+	if !ModeOn.Enabled() {
+		t.Error("ModeOn must enable probes")
+	}
+	if ModeOff.Enabled() {
+		t.Error("ModeOff must disable probes")
+	}
+	// This test runs under "go test", so Auto resolves to on.
+	if !ModeAuto.Enabled() {
+		t.Error("ModeAuto must enable probes under go test")
+	}
+	for _, m := range []Mode{ModeAuto, ModeOn, ModeOff} {
+		if !m.Valid() {
+			t.Errorf("%v reported invalid", m)
+		}
+	}
+	if Mode(7).Valid() {
+		t.Error("out-of-range mode reported valid")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]Mode{
+		"auto": ModeAuto, "": ModeAuto,
+		"on": ModeOn, "true": ModeOn, "1": ModeOn,
+		"off": ModeOff, "false": ModeOff, "0": ModeOff,
+	}
+	for in, want := range cases {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMode("sometimes"); err == nil {
+		t.Error("ParseMode accepted garbage")
+	}
+	if ModeOn.String() != "on" || ModeOff.String() != "off" || ModeAuto.String() != "auto" {
+		t.Error("Mode.String mismatch")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	c := New(4)
+	for i := 0; i < 10; i++ {
+		c.Trace(Record{Cycle: uint64(i), Key: 1})
+	}
+	if c.Traced() != 10 {
+		t.Errorf("traced = %d", c.Traced())
+	}
+	got := c.Recent(1, 100)
+	if len(got) != 4 {
+		t.Fatalf("ring kept %d records, want 4", len(got))
+	}
+	// Oldest first, and only the newest four survive.
+	for i, r := range got {
+		if r.Cycle != uint64(6+i) {
+			t.Errorf("record %d cycle = %d, want %d", i, r.Cycle, 6+i)
+		}
+	}
+}
+
+func TestRecentFiltersByKey(t *testing.T) {
+	c := New(16)
+	for i := 0; i < 8; i++ {
+		c.Trace(Record{Cycle: uint64(i), Key: uint64(i % 2)})
+	}
+	odd := c.Recent(1, 100)
+	if len(odd) != 4 {
+		t.Fatalf("key filter kept %d records, want 4", len(odd))
+	}
+	for _, r := range odd {
+		if r.Key != 1 {
+			t.Errorf("filtered dump leaked key %d", r.Key)
+		}
+	}
+	// max bounds the result, keeping the newest.
+	two := c.Recent(1, 2)
+	if len(two) != 2 || two[1].Cycle != 7 {
+		t.Errorf("bounded dump = %+v", two)
+	}
+}
+
+func TestFailfPanicsWithViolation(t *testing.T) {
+	c := New(8)
+	c.Trace(Record{Cycle: 5, Tile: 3, Comp: "l3dir", Event: "getx", Key: 0x1040})
+	c.Trace(Record{Cycle: 9, Tile: 0, Comp: "noc", Event: "send", Key: 0x9999})
+
+	defer func() {
+		v, ok := recover().(*Violation)
+		if !ok {
+			t.Fatal("Failf did not panic with *Violation")
+		}
+		msg := v.Error()
+		for _, want := range []string{"sanitize:", "line 0x1040 broke", "l3dir", "getx"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("violation missing %q:\n%s", want, msg)
+			}
+		}
+		if strings.Contains(msg, "0x9999") {
+			t.Errorf("dump leaked records for an unrelated key:\n%s", msg)
+		}
+		if c.Violations() != 1 {
+			t.Errorf("violations = %d", c.Violations())
+		}
+	}()
+	c.Failf(0x1040, "line %#x broke", 0x1040)
+}
+
+func TestFailfFallsBackToUnfilteredDump(t *testing.T) {
+	c := New(8)
+	c.Trace(Record{Cycle: 1, Comp: "cpu", Event: "phase", Key: 7})
+	defer func() {
+		v := recover().(*Violation)
+		if len(v.Trace) == 0 {
+			t.Error("fallback dump empty despite recorded traces")
+		}
+	}()
+	c.Failf(0xdead, "no records under this key")
+}
+
+func TestCheckf(t *testing.T) {
+	c := New(8)
+	c.Checkf(true, 1, "must not fire")
+	defer func() {
+		if recover() == nil {
+			t.Error("Checkf(false) did not panic")
+		}
+	}()
+	c.Checkf(false, 1, "fires")
+}
+
+func TestNewDepthDefault(t *testing.T) {
+	if got := len(New(0).ring); got != DefaultDepth {
+		t.Errorf("default depth = %d", got)
+	}
+	if got := len(New(-3).ring); got != DefaultDepth {
+		t.Errorf("negative depth = %d", got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"streamfloat/internal/mem"
 	"streamfloat/internal/noc"
 	"streamfloat/internal/prefetch"
+	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
 	"streamfloat/internal/workload"
 )
@@ -40,6 +41,11 @@ type Machine struct {
 	Backing *mem.Backing
 	Engines *score.Engines
 	Cores   []*cpu.Core
+
+	// Chk is the runtime sanitizer attached to every component, or nil when
+	// cfg.Sanitize resolves to off. One checker per machine: parallel
+	// experiment sweeps each own their books, so -race stays quiet.
+	Chk *sanitize.Checker
 
 	bench     string
 	numPhases int
@@ -96,7 +102,36 @@ func Build(cfg config.Config, bench string, scale float64) (*Machine, error) {
 		p := progs[i]
 		m.Cores[i] = cpu.NewCore(i, eng, st, params, caches, bk, se, &p)
 	}
+
+	if cfg.SanitizeEnabled() {
+		chk := sanitize.New(sanitize.DefaultDepth)
+		m.Chk = chk
+		eng.SetChecker(chk)
+		mesh.SetChecker(chk)
+		caches.SetChecker(chk)
+		if m.Engines != nil {
+			m.Engines.SetChecker(chk)
+		}
+		for _, c := range m.Cores {
+			c.SetChecker(chk)
+		}
+	}
 	return m, nil
+}
+
+// Audit runs the end-of-simulation sanitizer sweeps: cache/directory
+// consistency, NoC flit conservation, and stream-engine teardown residue.
+// It panics with a *sanitize.Violation on the first inconsistency and is a
+// no-op when the sanitizer is off.
+func (m *Machine) Audit() {
+	if m.Chk == nil {
+		return
+	}
+	m.Caches.Audit()
+	m.Mesh.Audit()
+	if m.Engines != nil {
+		m.Engines.Audit()
+	}
 }
 
 // barrierLatency models the OpenMP barrier between phases: a reduce +
@@ -143,6 +178,11 @@ func (m *Machine) Run(maxCycles event.Cycle) (Results, error) {
 				m.bench, m.Eng.Now())
 		}
 		return Results{}, fmt.Errorf("system: %s exceeded %d cycles", m.bench, maxCycles)
+	}
+	// Conservation audits only make sense on a fully drained machine: a
+	// horizon break leaves legitimate in-flight messages behind.
+	if m.Eng.Pending() == 0 {
+		m.Audit()
 	}
 	m.St.Cycles = uint64(m.Eng.Now())
 	energy.Apply(m.St, m.Cfg)

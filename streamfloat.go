@@ -22,6 +22,7 @@ import (
 	"streamfloat/internal/energy"
 	"streamfloat/internal/event"
 	"streamfloat/internal/experiments"
+	"streamfloat/internal/sanitize"
 	"streamfloat/internal/system"
 	"streamfloat/internal/workload"
 )
@@ -45,6 +46,22 @@ const (
 	StreamSS  = config.StreamSS
 	StreamSF  = config.StreamSF
 )
+
+// SanitizeMode selects the runtime invariant sanitizer: SanitizeAuto (the
+// zero value) enables it inside `go test` binaries and disables it otherwise,
+// SanitizeOn/SanitizeOff force it. Set Config.Sanitize before Build/Run.
+type SanitizeMode = sanitize.Mode
+
+// Sanitizer modes for Config.Sanitize.
+const (
+	SanitizeAuto = sanitize.ModeAuto
+	SanitizeOn   = sanitize.ModeOn
+	SanitizeOff  = sanitize.ModeOff
+)
+
+// ParseSanitizeMode parses a -sanitize style flag value ("auto", "on",
+// "off" and common spellings of each).
+func ParseSanitizeMode(s string) (SanitizeMode, error) { return sanitize.ParseMode(s) }
 
 // Results is the outcome of one simulation: the full statistics plus the
 // configuration that produced them.
