@@ -141,6 +141,28 @@ func BenchmarkSingleRun(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead is BenchmarkSingleRun with the structured tracer
+// attached: the delta between the two is the cost of tracing-on mode (the
+// disabled mode is guarded separately by TestTracerDisabledOverhead).
+func BenchmarkTraceOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg, err := ConfigFor("SF", OOO8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.MeshWidth, cfg.MeshHeight = 4, 4
+		cfg.Sanitize = SanitizeOff
+		res, tr, err := RunTraced(cfg, "mv", "SF/OOO8", 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Stats.Cycles), "sim-cycles")
+			b.ReportMetric(float64(tr.Attribution().Loads), "probed-loads")
+		}
+	}
+}
+
 // Example of the one-call API (compiled and run by go test).
 func ExampleRun() {
 	cfg, err := ConfigFor("SF", IO4)

@@ -2,9 +2,11 @@
 //
 // Usage:
 //
-//	sfexp -fig 13 -scale 0.5          # one figure
-//	sfexp -fig all -out results.txt   # the whole evaluation
-//	sfexp -fig 15 -bench mv,conv3d    # restricted benchmark set
+//	sfexp -fig 13 -scale 0.5                       # one figure
+//	sfexp -fig all -out results.txt                # the whole evaluation
+//	sfexp -fig 15 -bench mv,conv3d                 # restricted benchmark set
+//	sfexp -fig all -csv -out results/              # one CSV per figure
+//	sfexp -fig 13 -bench pathfinder -trace out.json # plus a Chrome-trace export
 package main
 
 import (
@@ -23,14 +25,16 @@ func main() {
 	log.SetPrefix("sfexp: ")
 
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2, 13-19, area, or all")
-		scale   = flag.Float64("scale", 0.25, "dataset scale (1.0 = calibrated full size)")
-		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all 12)")
-		outPath = flag.String("out", "", "write results to a file instead of stdout")
-		par     = flag.Int("par", 0, "parallel simulations (0 or negative = GOMAXPROCS)")
-		asCSV   = flag.Bool("csv", false, "emit CSV instead of an aligned table (single figure only)")
-		chart   = flag.String("chart", "", "also render an ASCII bar chart of metrics with this suffix (e.g. speedup)")
-		san     = flag.String("sanitize", "auto", "runtime invariant probes: on, off, or auto (on inside go test, off here)")
+		fig       = flag.String("fig", "all", "figure to regenerate: 2, 13-19, area, ablations, latency, or all")
+		scale     = flag.Float64("scale", 0.25, "dataset scale (1.0 = calibrated full size)")
+		benches   = flag.String("bench", "", "comma-separated benchmark subset (default: all 12)")
+		outPath   = flag.String("out", "", "write results to a file instead of stdout (with -fig all -csv: a directory)")
+		par       = flag.Int("par", 0, "parallel simulations (0 or negative = GOMAXPROCS)")
+		asCSV     = flag.Bool("csv", false, "emit CSV instead of an aligned table (with -fig all: one CSV per figure into -out)")
+		chart     = flag.String("chart", "", "also render an ASCII bar chart of metrics with this suffix (e.g. speedup)")
+		san       = flag.String("sanitize", "auto", "runtime invariant probes: on, off, or auto (on inside go test, off here)")
+		tracePath = flag.String("trace", "", "also run one traced simulation and write Chrome-trace JSON here (inspect with sftrace or ui.perfetto.dev)")
+		traceSys  = flag.String("tracesys", "SF", "system for the -trace run (Base, Stride, Bingo, SS, SF, ...)")
 	)
 	flag.Parse()
 
@@ -41,6 +45,19 @@ func main() {
 	opts := streamfloat.ExperimentOptions{Scale: *scale, Parallelism: *par, Sanitize: sanMode}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	// -fig all -csv writes one CSV per figure; -out names the directory.
+	if *fig == "all" && *asCSV {
+		dir := *outPath
+		if dir == "" {
+			dir = "."
+		}
+		if err := streamfloat.WriteExperimentCSVs(opts, dir); err != nil {
+			log.Fatal(err)
+		}
+		runTrace(opts, *tracePath, *traceSys)
+		return
 	}
 
 	var w io.Writer = os.Stdout
@@ -57,6 +74,7 @@ func main() {
 		if err := streamfloat.AllExperiments(opts, w); err != nil {
 			log.Fatal(err)
 		}
+		runTrace(opts, *tracePath, *traceSys)
 		return
 	}
 	t, err := streamfloat.Experiment(*fig, opts)
@@ -74,4 +92,27 @@ func main() {
 		t.Chart(w, *chart, 48)
 	}
 	fmt.Fprintln(w)
+	runTrace(opts, *tracePath, *traceSys)
+}
+
+// runTrace handles -trace: one traced OOO8 simulation of the first selected
+// benchmark, exported as Perfetto-loadable Chrome-trace JSON.
+func runTrace(opts streamfloat.ExperimentOptions, path, systemName string) {
+	if path == "" {
+		return
+	}
+	bench := "nn"
+	if len(opts.Benchmarks) > 0 {
+		bench = opts.Benchmarks[0]
+	}
+	res, tr, err := streamfloat.TracedExperimentRun(opts, systemName, streamfloat.OOO8, bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.WriteChromeFile(path); err != nil {
+		log.Fatal(err)
+	}
+	a := tr.Attribution()
+	log.Printf("trace: %s/%s on %s: %d cycles, %d loads, %d spans -> %s (sftrace summarize %s)",
+		systemName, "OOO8", bench, res.Stats.Cycles, a.Loads, len(tr.Spans()), path, path)
 }

@@ -1,0 +1,111 @@
+// Command sftrace inspects Chrome-trace JSON exported by the simulator
+// (sfexp -trace out.json, or Tracer.WriteChromeFile). The same file loads in
+// ui.perfetto.dev; sftrace renders the terminal views.
+//
+// Usage:
+//
+//	sftrace summarize out.json     # run info, latency attribution, link heatmap
+//	sftrace top-streams -n 10 out.json
+//	sftrace heatmap out.json
+//	sftrace timeline out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"streamfloat/internal/trace"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sftrace <summarize|top-streams|heatmap|timeline> [-n N] <trace.json>")
+	os.Exit(2)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sftrace: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	topN := fs.Int("n", 10, "number of streams to list (top-streams)")
+	fs.Parse(os.Args[2:])
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, err := trace.ReadFile(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch cmd {
+	case "summarize":
+		summarize(f)
+	case "top-streams":
+		topStreams(f, *topN)
+	case "heatmap":
+		trace.RenderLinkHeatmap(os.Stdout, f.MeshW, f.MeshH, f.LinkFlits)
+	case "timeline":
+		trace.WriteTimeline(os.Stdout, f.Cycles, f.Spans)
+	default:
+		usage()
+	}
+}
+
+func summarize(f *trace.File) {
+	fmt.Printf("run: %s (%s), %dx%d mesh, %d cycles\n", f.Benchmark, f.Label, f.MeshW, f.MeshH, f.Cycles)
+	fmt.Printf("events: %d instants in file (ring depth %d/tile, %d dropped), %d stream spans\n",
+		f.TotalEvents, f.RingDepth, f.Dropped, len(f.Spans))
+	if len(f.EventCounts) > 0 {
+		names := make([]string, 0, len(f.EventCounts))
+		for n := range f.EventCounts {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if f.EventCounts[names[i]] != f.EventCounts[names[j]] {
+				return f.EventCounts[names[i]] > f.EventCounts[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		fmt.Print("top events:")
+		for i, n := range names {
+			if i == 6 {
+				break
+			}
+			fmt.Printf(" %s=%d", n, f.EventCounts[n])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	trace.WriteAttribution(os.Stdout, f.Attribution)
+	fmt.Println()
+	trace.RenderLinkHeatmap(os.Stdout, f.MeshW, f.MeshH, f.LinkFlits)
+}
+
+func topStreams(f *trace.File, n int) {
+	spans := append([]trace.StreamSpan(nil), f.Spans...)
+	sort.Slice(spans, func(i, j int) bool {
+		di, dj := spans[i].End-spans[i].Start, spans[j].End-spans[j].Start
+		if di != dj {
+			return di > dj
+		}
+		if spans[i].Tile != spans[j].Tile {
+			return spans[i].Tile < spans[j].Tile
+		}
+		return spans[i].SID < spans[j].SID
+	})
+	if n < len(spans) {
+		spans = spans[:n]
+	}
+	fmt.Printf("%-6s %-5s %-12s %-12s %-10s %-6s %-5s %-4s %s\n",
+		"tile", "sid", "start", "end", "cycles", "bank", "kids", "mig", "end-kind")
+	for _, s := range spans {
+		fmt.Printf("%-6d %-5d %-12d %-12d %-10d %-6d %-5d %-4d %s\n",
+			s.Tile, s.SID, s.Start, s.End, s.End-s.Start, s.Bank, s.Children, s.Migrations, s.EndKind)
+	}
+}

@@ -4,22 +4,37 @@ import (
 	"streamfloat/internal/event"
 	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
+	"streamfloat/internal/trace"
 )
 
 // bankHandle services a GetS (excl=false) or GetX (excl=true) that has
 // arrived at an L3 bank. respond is invoked with the granted MESI state at
-// the time the data (or upgrade ack) reaches the requesting tile.
+// the time the data (or upgrade ack) reaches the requesting tile. p (may be
+// nil) is the requesting load's latency-attribution probe.
 //
 // Directory state is updated immediately and messages model the traffic and
 // latency; per-line transient races are thereby serialized by the event
 // loop, which preserves message counts — the quantity the paper measures.
-func (s *System) bankHandle(bank int, la uint64, reqTile int, excl bool, l3kind stats.L3ReqKind, respond func(granted state, now event.Cycle)) {
+func (s *System) bankHandle(bank int, la uint64, reqTile int, excl bool, l3kind stats.L3ReqKind, p *trace.LoadProbe, respond func(granted state, now event.Cycle)) {
 	s.eng.Schedule(event.Cycle(s.cfg.L3.LatCycles), func(event.Cycle) {
 		s.st.L3Requests[l3kind]++
 		l := s.banks[bank].lookup(la)
+		if s.tr != nil {
+			s.tr.CacheAccess(bank, 3, l != nil)
+		}
 		if l == nil {
 			s.st.L3Misses++
+			if s.tr != nil {
+				s.tr.Emit(uint64(s.eng.Now()), bank, trace.KindL3Miss, la, int64(reqTile), int64(l3kind))
+			}
+			if p != nil {
+				p.DRAMStart = uint64(s.eng.Now())
+				p.Level = trace.LevelDRAM
+			}
 			s.dramFill(bank, la, func() {
+				if p != nil {
+					p.DRAMEnd = uint64(s.eng.Now())
+				}
 				// Re-lookup: the fill installed the line.
 				if fresh := s.banks[bank].lookup(la); fresh != nil {
 					s.bankHitChecked(bank, fresh, la, reqTile, excl, respond)
@@ -34,6 +49,9 @@ func (s *System) bankHandle(bank int, la uint64, reqTile int, excl bool, l3kind 
 			return
 		}
 		s.st.L3Hits++
+		if p != nil && p.Level == trace.LevelMerged {
+			p.Level = trace.LevelL3
+		}
 		s.banks[bank].touch(l)
 		s.bankHitChecked(bank, l, la, reqTile, excl, respond)
 	})
@@ -207,6 +225,13 @@ func (s *System) evictL3(bank int, victim *line) {
 	va := victim.addr
 	dirty := victim.dirty
 	s.traceEvict("l3", bank, victim)
+	if s.tr != nil {
+		var a int64
+		if dirty {
+			a = 1
+		}
+		s.tr.Emit(uint64(s.eng.Now()), bank, trace.KindL3Evict, va, a, int64(victim.owner))
+	}
 	if victim.owner >= 0 {
 		o := int(victim.owner)
 		tc := s.tiles[o]
@@ -268,8 +293,14 @@ func (s *System) FloatRead(bank int, la uint64, dsts []int, l3kind stats.L3ReqKi
 			}
 			s.mesh.Multicast(bank, dsts, stats.ClassData, payloadBytes, deliver)
 		}
+		if s.tr != nil {
+			s.tr.CacheAccess(bank, 3, l != nil)
+		}
 		if l == nil {
 			s.st.L3Misses++
+			if s.tr != nil {
+				s.tr.Emit(uint64(s.eng.Now()), bank, trace.KindL3Miss, la, int64(dsts[0]), int64(l3kind))
+			}
 			s.dramFill(bank, la, send)
 			return
 		}

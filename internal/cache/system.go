@@ -7,6 +7,7 @@ import (
 	"streamfloat/internal/noc"
 	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
+	"streamfloat/internal/trace"
 )
 
 // Kind is the type of a memory access entering the hierarchy.
@@ -27,10 +28,13 @@ const (
 )
 
 // Meta carries provenance for an access: the synthetic PC (for prefetcher
-// training) and the stream that generated it, if any.
+// training), the stream that generated it, if any, and — when tracing is
+// on — the latency-attribution probe riding the access through the
+// hierarchy.
 type Meta struct {
 	PC       uint32
 	StreamID int // stream id, or -1
+	Probe    *trace.LoadProbe
 }
 
 // NoMeta is the Meta for plain accesses.
@@ -62,6 +66,10 @@ type System struct {
 
 	// chk, when non-nil, attaches the sanitizer probes (see sanitize.go).
 	chk *sanitize.Checker
+
+	// tr, when non-nil, records hit/miss/evict/fill activity and finalizes
+	// the latency attribution of probed loads. Purely observational.
+	tr *trace.Tracer
 
 	// Observers wired by the system assembly (prefetchers, stream engines).
 	l1Observer     func(tile int, addr uint64, pc uint32, hit bool)
@@ -130,6 +138,9 @@ func (s *System) SetBankWriteObserver(fn func(bank int, lineAddr uint64, writerT
 	s.bankWrite = fn
 }
 
+// SetTracer attaches the structured tracer to the hierarchy. nil detaches.
+func (s *System) SetTracer(tr *trace.Tracer) { s.tr = tr }
+
 // LineAddr aligns addr down to its cache line.
 func LineAddr(addr uint64) uint64 { return addr &^ (lineSize - 1) }
 
@@ -139,6 +150,14 @@ func LineAddr(addr uint64) uint64 { return addr &^ (lineSize - 1) }
 // complete silently.
 func (s *System) Access(tile int, addr uint64, kind Kind, meta Meta, done func(event.Cycle)) {
 	la := LineAddr(addr)
+	// Demand/stream reads entering without a core-attached probe (SEcore
+	// fetches, pointer chases) still get latency attribution when tracing.
+	if s.tr != nil && meta.Probe == nil && done != nil && (kind == Read || kind == StreamRead) {
+		p := s.tr.Probe()
+		now := uint64(s.eng.Now())
+		p.Enq, p.Issue = now, now
+		meta.Probe = p
+	}
 	switch kind {
 	case PrefL2:
 		s.eng.Schedule(event.Cycle(s.cfg.L2.LatCycles), func(event.Cycle) {
@@ -174,12 +193,28 @@ func (s *System) loadAfterL1(tile int, addr, la uint64, kind Kind, meta Meta, do
 			s.st.L1Hits++
 			s.demandHitLine(tile, l)
 			tc.l1.touch(l)
+			if s.tr != nil {
+				s.tr.CacheAccess(tile, 1, true)
+			}
+		}
+		if p := meta.Probe; p != nil {
+			now := uint64(s.eng.Now())
+			p.L1Done = now
+			p.Level = trace.LevelL1
+			s.tr.FinishLoad(tile, p, now)
 		}
 		s.notifyDone(done)
 		return
 	}
 	if demand {
 		s.st.L1Misses++
+		if s.tr != nil {
+			s.tr.CacheAccess(tile, 1, false)
+			s.tr.Emit(uint64(s.eng.Now()), tile, trace.KindL1Miss, la, int64(meta.StreamID), 0)
+		}
+	}
+	if p := meta.Probe; p != nil {
+		p.L1Done = uint64(s.eng.Now())
 	}
 	// L1 miss: continue to L2 after its lookup latency.
 	s.eng.Schedule(event.Cycle(s.cfg.L2.LatCycles), func(event.Cycle) {
@@ -205,15 +240,26 @@ func (s *System) demandHitLine(tile int, l *line) {
 func (s *System) loadAfterL2(tile int, la uint64, kind Kind, meta Meta, done func(event.Cycle)) {
 	tc := s.tiles[tile]
 	demand := kind == Read || kind == StreamRead
+	p := meta.Probe
+	if p != nil {
+		p.L2Done = uint64(s.eng.Now())
+	}
 	l := tc.l2.lookup(la)
 	if l != nil && l.state != stInvalid {
 		if demand {
 			s.st.L2Hits++
 			s.demandHitLine(tile, l)
 			tc.l2.touch(l)
+			if s.tr != nil {
+				s.tr.CacheAccess(tile, 2, true)
+			}
 		}
 		if kind != PrefL2 {
 			s.fillL1(tile, la, kind != Read, meta)
+		}
+		if p != nil {
+			p.Level = trace.LevelL2
+			s.tr.FinishLoad(tile, p, uint64(s.eng.Now()))
 		}
 		s.notifyDone(done)
 		return
@@ -223,9 +269,23 @@ func (s *System) loadAfterL2(tile int, la uint64, kind Kind, meta Meta, done fun
 		if s.l2MissObserver != nil {
 			s.l2MissObserver(tile, la, meta.PC)
 		}
+		if s.tr != nil {
+			s.tr.CacheAccess(tile, 2, false)
+			s.tr.Emit(uint64(s.eng.Now()), tile, trace.KindL2Miss, la, int64(meta.StreamID), 0)
+		}
 	}
-	// Merge into an outstanding miss if one exists.
-	finish := func(now event.Cycle) { s.notifyDone(done) }
+	// Merge into an outstanding miss if one exists. A probed load finalizes
+	// its attribution when the fill (its own or the one it merged into)
+	// wakes it.
+	var finish func(event.Cycle)
+	if p != nil {
+		finish = func(now event.Cycle) {
+			s.tr.FinishLoad(tile, p, uint64(now))
+			s.notifyDone(done)
+		}
+	} else {
+		finish = func(now event.Cycle) { s.notifyDone(done) }
+	}
 	if waiters, ok := tc.mshr[la]; ok {
 		tc.mshr[la] = append(waiters, finish)
 		return
@@ -249,6 +309,9 @@ func (s *System) storeAfterL1(tile int, addr, la uint64, meta Meta, done func(ev
 	if l2 != nil && (l2.state == stModified || l2.state == stExclusive) {
 		// Writable locally: E upgrades to M silently.
 		s.st.L1Hits++ // store hit from the pipeline's perspective
+		if s.tr != nil {
+			s.tr.CacheAccess(tile, 1, true)
+		}
 		l2.state = stModified
 		l2.dirty = true
 		s.demandHitLine(tile, l2)
@@ -265,13 +328,23 @@ func (s *System) storeAfterL1(tile int, addr, la uint64, meta Meta, done func(ev
 		return
 	}
 	s.st.L1Misses++
+	if s.tr != nil {
+		s.tr.CacheAccess(tile, 1, false)
+	}
 	// Needs ownership: S upgrade or full RFO miss.
 	if l2 != nil && l2.state == stShared {
 		s.st.L2Hits++
+		if s.tr != nil {
+			s.tr.CacheAccess(tile, 2, true)
+		}
 	} else {
 		s.st.L2Misses++
 		if s.l2MissObserver != nil {
 			s.l2MissObserver(tile, la, meta.PC)
+		}
+		if s.tr != nil {
+			s.tr.CacheAccess(tile, 2, false)
+			s.tr.Emit(uint64(s.eng.Now()), tile, trace.KindL2Miss, la, int64(meta.StreamID), 1)
 		}
 	}
 	finish := func(now event.Cycle) { s.notifyDone(done) }
@@ -322,7 +395,7 @@ func (s *System) PrefetchBulkL2(tile int, bank int, lineAddrs []uint64, meta Met
 	s.mesh.Send(tile, bank, stats.ClassCtrlReq, payload, func(event.Cycle) {
 		for _, la := range todo {
 			la := la
-			s.bankHandle(bank, la, tile, false, stats.L3CoreNormal, func(granted state, now event.Cycle) {
+			s.bankHandle(bank, la, tile, false, stats.L3CoreNormal, nil, func(granted state, now event.Cycle) {
 				s.finishFetch(tile, la, granted, Meta{StreamID: -1}, PrefL2)
 			})
 		}
@@ -336,7 +409,10 @@ func (s *System) fetch(tile int, la uint64, excl bool, l3kind stats.L3ReqKind, m
 		s.st.PrefetchIssued++
 	}
 	s.mesh.Send(tile, bank, stats.ClassCtrlReq, 8, func(event.Cycle) {
-		s.bankHandle(bank, la, tile, excl, l3kind, func(granted state, now event.Cycle) {
+		if p := meta.Probe; p != nil {
+			p.ReqAtBank = uint64(s.eng.Now())
+		}
+		s.bankHandle(bank, la, tile, excl, l3kind, meta.Probe, func(granted state, now event.Cycle) {
 			s.finishFetch(tile, la, granted, meta, kind)
 		})
 	})
@@ -347,6 +423,9 @@ func (s *System) fetch(tile int, la uint64, excl bool, l3kind stats.L3ReqKind, m
 func (s *System) finishFetch(tile int, la uint64, granted state, meta Meta, kind Kind) {
 	tc := s.tiles[tile]
 	s.traceFill(tile, la, granted)
+	if s.tr != nil {
+		s.tr.Emit(uint64(s.eng.Now()), tile, trace.KindFill, la, int64(granted), int64(kind))
+	}
 	s.fillL2(tile, la, granted, meta, kind)
 	if kind != PrefL2 {
 		s.fillL1(tile, la, kind == PrefL1 || kind == StreamRead, meta)
@@ -427,6 +506,16 @@ func (s *System) evictL2(tile int, victim *line) {
 	home := s.cfg.HomeBank(va)
 	dirty := victim.dirty || victim.state == stModified
 	s.traceEvict("l2", tile, victim)
+	if s.tr != nil {
+		var a, b int64
+		if dirty {
+			a = 1
+		}
+		if victim.reused {
+			b = 1
+		}
+		s.tr.Emit(uint64(s.eng.Now()), tile, trace.KindL2Evict, va, a, b)
+	}
 
 	s.st.L2Evictions++
 	if !dirty && !victim.reused {

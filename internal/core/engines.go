@@ -12,6 +12,7 @@ import (
 	"streamfloat/internal/noc"
 	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
+	"streamfloat/internal/trace"
 	"streamfloat/internal/workload"
 )
 
@@ -58,6 +59,10 @@ type Engines struct {
 
 	// san, when non-nil, attaches the sanitizer probes (see sanitize.go).
 	san *sanitize.Checker
+
+	// tr, when non-nil, records stream lifecycle spans and SE activity
+	// events (see trace.go). Purely observational.
+	tr *trace.Tracer
 }
 
 // NewEngines builds the stream engines for the configured machine and wires

@@ -124,27 +124,13 @@ func (l *seL2) sanCheckWire(g *l2Group, startElem int64, payload int) {
 		return
 	}
 	key := sanStreamKey(g.key.tile, g.key.sid)
-	aff := g.baseAff
-	pkt := stream.ConfigPacket{Affine: stream.AffineConfig{
-		CID:  uint8(g.key.tile),
-		SID:  uint8(g.key.sid),
-		Base: aff.Base,
-		Iter: uint64(startElem),
-		Size: uint8(aff.ElemSize),
-	}}
 	for i := 0; i < stream.Levels; i++ {
-		pkt.Affine.Strides[i] = aff.Strides[i]
-		if aff.Lens[i] < 0 || aff.Lens[i] > math.MaxUint32 {
+		if n := g.baseAff.Lens[i]; n < 0 || n > math.MaxUint32 {
 			l.e.san.Failf(key, "sel2: tile %d stream %d level-%d length %d exceeds the 32-bit Table I field",
-				l.tile, g.key.sid, i, aff.Lens[i])
+				l.tile, g.key.sid, i, n)
 		}
-		pkt.Affine.Lens[i] = uint32(aff.Lens[i])
 	}
-	for _, ch := range g.children {
-		pkt.Indirects = append(pkt.Indirects, stream.IndirectConfig{
-			SID: uint8(ch.ID), Base: ch.Indirect.Base, Size: uint8(ch.Indirect.ElemSize),
-		})
-	}
+	pkt := l.wirePacket(g, startElem)
 	data, err := pkt.Encode()
 	if err != nil {
 		l.e.san.Failf(key, "sel2: tile %d stream %d configuration does not fit the Table I layout: %v",

@@ -287,6 +287,10 @@ func (c *seCore) floatStream(s *coreStream, startElem int64) {
 	s.kind = csFloatLeader
 	s.floatFrom = startElem
 	c.e.sanTrace(c.tile, "secore", "float", sanStreamKey(c.tile, s.decl.ID), startElem, int64(len(s.indirects)))
+	if c.e.tr != nil {
+		c.e.tr.StreamFloat(uint64(c.e.eng.Now()), c.tile, s.decl.ID, startElem,
+			s.decl.Affine.Base, len(s.indirects))
+	}
 	var children []stream.Decl
 	if c.e.cfg.FloatIndirect {
 		for _, ind := range s.indirects {
@@ -666,6 +670,9 @@ func (c *seCore) sinkStream(s *coreStream, aliased bool) {
 		al = 1
 	}
 	c.e.sanTrace(c.tile, "secore", "sink", sanStreamKey(c.tile, s.decl.ID), s.lastReq, al)
+	if c.e.tr != nil {
+		c.e.tr.StreamSink(uint64(c.e.eng.Now()), c.tile, s.decl.ID, aliased, s.lastReq)
+	}
 	c.e.st.StreamsSunk++
 	s.hist.floated = false
 	s.hist.sunk = true
@@ -713,6 +720,9 @@ func (c *seCore) endPhase() {
 			c.e.l2s[c.tile].terminate(s.group, false)
 		}
 		c.e.sanTrace(c.tile, "secore", "end", sanStreamKey(c.tile, s.decl.ID), s.sanReq, s.sanRel)
+		if c.e.tr != nil {
+			c.e.tr.StreamEnd(uint64(c.e.eng.Now()), c.tile, s.decl.ID)
+		}
 		c.sanCheckElements(s)
 	}
 	c.streams = nil

@@ -4,6 +4,7 @@ import (
 	"streamfloat/internal/event"
 	"streamfloat/internal/stats"
 	"streamfloat/internal/stream"
+	"streamfloat/internal/trace"
 )
 
 // bufLine is one line slot of the SE_L2 stream buffer. Lines are granted
@@ -143,6 +144,7 @@ func (l *seL2) configureStream(owner *coreStream, startElem int64, children []st
 	bank := l.e.cfg.HomeBank(first.addr)
 	payload := stream.ConfigBytes(len(children))
 	l.sanCheckWire(g, startElem, payload)
+	l.traceConfig(g, startElem, bank)
 	startSeq := first.seq
 	credits := int(g.granted)
 	l.e.mesh.Send(l.tile, bank, stats.ClassStream, payload, func(event.Cycle) {
@@ -189,6 +191,10 @@ func (l *seL2) arrive(g *l2Group, seq int64) {
 		return
 	}
 	l.e.st.SEL2Accesses++
+	if l.e.tr != nil {
+		l.e.tr.Emit(uint64(l.e.eng.Now()), l.tile, trace.KindSEL2Arrive,
+			trace.StreamKey(g.key.tile, g.key.sid), seq, int64(g.buffered))
+	}
 	b.arrived = true
 	for _, w := range b.waiters {
 		w := w

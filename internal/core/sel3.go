@@ -5,6 +5,7 @@ import (
 	"streamfloat/internal/event"
 	"streamfloat/internal/stats"
 	"streamfloat/internal/stream"
+	"streamfloat/internal/trace"
 )
 
 // l3Stream is one floated stream executing at an SE_L3 (Fig 10). A stream
@@ -269,6 +270,11 @@ func (b *seL3) tryIssue(g *confGroup) bool {
 		dsts[i] = m.reqTile
 	}
 	b.e.st.SEL3Accesses++
+	if b.e.tr != nil {
+		m0 := cands[0]
+		b.e.tr.Emit(uint64(b.e.eng.Now()), b.bank, trace.KindSEL3Issue,
+			trace.StreamKey(m0.key.tile, m0.key.sid), ref.seq, int64(len(cands)))
+	}
 	if ref.addr>>12 != cands[0].lastPage {
 		b.e.st.TLBTranslations++
 	}
@@ -360,6 +366,12 @@ func (b *seL3) migrate(g *confGroup, toBank int) {
 	// iteration and remaining credits; merged members add an id each.
 	payload := stream.ConfigBytes(len(members[0].children)) + 8*len(members)
 	b.e.st.StreamMigrations++
+	if b.e.tr != nil {
+		now := uint64(b.e.eng.Now())
+		for _, m := range members {
+			b.e.tr.StreamMigrate(now, m.key.tile, m.key.sid, b.bank, toBank)
+		}
+	}
 	b.e.mesh.Send(b.bank, toBank, stats.ClassStream, payload, func(event.Cycle) {
 		tb := b.e.l3s[toBank]
 		for _, m := range g.alive() {

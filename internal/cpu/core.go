@@ -19,6 +19,7 @@ import (
 	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
 	"streamfloat/internal/stream"
+	"streamfloat/internal/trace"
 	"streamfloat/internal/workload"
 )
 
@@ -69,10 +70,17 @@ type Core struct {
 	// chk, when non-nil, attaches the sanitizer probes: load-queue bound,
 	// negative-counter detection, and phase-completion residue checks.
 	chk *sanitize.Checker
+
+	// tr, when non-nil, records phase/iteration/stall events and rides a
+	// latency-attribution probe on every plain load.
+	tr *trace.Tracer
 }
 
 // SetChecker attaches sanitizer probes to the core. nil detaches.
 func (c *Core) SetChecker(chk *sanitize.Checker) { c.chk = chk }
+
+// SetTracer attaches the structured tracer to the core. nil detaches.
+func (c *Core) SetTracer(tr *trace.Tracer) { c.tr = tr }
 
 // sanKey tags this core's trace records.
 func (c *Core) sanKey() uint64 { return uint64(0xC)<<56 | uint64(c.ID) }
@@ -94,6 +102,10 @@ func (c *Core) BeginPhase(idx int, done func()) {
 			Cycle: uint64(c.eng.Now()), Tile: c.ID, Comp: "cpu", Event: "phase",
 			Key: c.sanKey(), A: int64(idx), B: c.prog.Phases[idx].NumIters,
 		})
+	}
+	if c.tr != nil {
+		c.tr.Emit(uint64(c.eng.Now()), c.ID, trace.KindPhaseBegin, c.sanKey(),
+			int64(idx), c.prog.Phases[idx].NumIters)
 	}
 	c.phaseIdx = idx
 	c.phase = &c.prog.Phases[idx]
@@ -146,6 +158,10 @@ func (c *Core) startIters() {
 
 // beginIter issues iteration i's loads.
 func (c *Core) beginIter(i int64) {
+	if c.tr != nil {
+		c.tr.Emit(uint64(c.eng.Now()), c.ID, trace.KindIterIssue, uint64(i),
+			int64(len(c.phase.Loads)), int64(c.inflight))
+	}
 	pending := 0
 	var onLoad func(event.Cycle)
 	complete := func() {
@@ -242,13 +258,23 @@ func (c *Core) chaseChain(addrs []uint64, k int, done func(event.Cycle)) {
 // plainLoad sends a demand load through the hierarchy, respecting the load
 // queue bound.
 func (c *Core) plainLoad(addr uint64, pc uint32, sid int, done func(event.Cycle)) {
+	// A tracer probe rides the load through the hierarchy via cache.Meta;
+	// Enq is stamped here (load-queue entry), Issue when the LQ admits it.
+	var p *trace.LoadProbe
+	if c.tr != nil {
+		p = c.tr.Probe()
+		p.Enq = uint64(c.eng.Now())
+	}
 	issue := func() {
 		c.outLoads++
 		if c.chk != nil && c.outLoads > c.params.LQSize {
 			c.chk.Failf(c.sanKey(), "cpu: core %d has %d loads in flight, LQ size %d", c.ID, c.outLoads, c.params.LQSize)
 		}
 		start := c.eng.Now()
-		c.mem.Access(c.ID, addr, cache.Read, cache.Meta{PC: pc, StreamID: sid}, func(now event.Cycle) {
+		if p != nil {
+			p.Issue = uint64(start)
+		}
+		c.mem.Access(c.ID, addr, cache.Read, cache.Meta{PC: pc, StreamID: sid, Probe: p}, func(now event.Cycle) {
 			c.outLoads--
 			if c.chk != nil && c.outLoads < 0 {
 				c.chk.Failf(c.sanKey(), "cpu: core %d load-queue count went negative", c.ID)
@@ -259,6 +285,9 @@ func (c *Core) plainLoad(addr uint64, pc uint32, sid int, done func(event.Cycle)
 		})
 	}
 	if c.outLoads >= c.params.LQSize {
+		if c.tr != nil {
+			c.tr.Emit(uint64(c.eng.Now()), c.ID, trace.KindStallLQ, addr, int64(len(c.loadQ)), int64(sid))
+		}
 		c.loadQ = append(c.loadQ, issue)
 		return
 	}
@@ -311,6 +340,10 @@ func (c *Core) retire(i int64) {
 			c.se.ReleaseElement(c.ID, d.ID, i)
 		}
 	}
+	if c.tr != nil {
+		c.tr.Emit(uint64(c.eng.Now()), c.ID, trace.KindIterRetire, uint64(i),
+			int64(len(c.phase.Stores)), int64(c.inflight-1))
+	}
 	c.inflight--
 	c.retired++
 	c.st.Iterations++
@@ -352,6 +385,10 @@ func (c *Core) maybeFinishPhase() {
 	done := c.phaseDone
 	c.phaseDone = nil
 	if done != nil {
+		if c.tr != nil {
+			c.tr.Emit(uint64(c.eng.Now()), c.ID, trace.KindPhaseEnd, c.sanKey(),
+				int64(c.phaseIdx), c.retired)
+		}
 		done()
 	}
 }

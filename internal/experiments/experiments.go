@@ -623,32 +623,21 @@ func AreaTable() *Table {
 	return t
 }
 
-// All runs every experiment in paper order, writing rendered tables to w.
+// All runs every experiment in paper order (plus the trace-derived latency
+// attribution appendix), writing rendered tables to w.
 func All(opts Options, w io.Writer) error {
-	runners := []struct {
-		name string
-		fn   func(Options) (*Table, error)
-	}{
-		{"fig2", Fig02}, {"fig13", Fig13}, {"fig14", Fig14}, {"fig15", Fig15},
-		{"fig16", Fig16}, {"fig17", Fig17}, {"fig18", Fig18}, {"fig19", Fig19},
-	}
-	for _, r := range runners {
+	for _, r := range figureRunners() {
 		t, err := r.fn(opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.name, err)
 		}
 		t.Fprint(w)
 	}
-	AreaTable().Fprint(w)
-	if t, err := Ablations(opts); err == nil {
-		t.Fprint(w)
-	} else {
-		return fmt.Errorf("ablations: %w", err)
-	}
 	return nil
 }
 
-// ByName returns the runner for a figure id ("2", "13", ... or "area").
+// ByName returns the runner for a figure id ("2", "13", ... "19", "area",
+// "ablations", or "latency").
 func ByName(id string) (func(Options) (*Table, error), bool) {
 	switch id {
 	case "2", "fig2":
@@ -671,6 +660,8 @@ func ByName(id string) (func(Options) (*Table, error), bool) {
 		return func(Options) (*Table, error) { return AreaTable(), nil }, true
 	case "ablations":
 		return Ablations, true
+	case "latency":
+		return LatencyBreakdown, true
 	}
 	return nil, false
 }

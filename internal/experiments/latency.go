@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"streamfloat/internal/config"
+	"streamfloat/internal/system"
+	"streamfloat/internal/trace"
+)
+
+// TracedRun executes one simulation with the structured tracer attached and
+// returns the results together with the finished tracer. It is the building
+// block behind LatencyBreakdown and the sfexp -trace flag.
+func TracedRun(opts Options, systemName string, core config.CoreKind, bench string) (system.Results, *trace.Tracer, error) {
+	cfg, err := config.ForSystem(systemName, core)
+	if err != nil {
+		return system.Results{}, nil, err
+	}
+	cfg.Sanitize = opts.Sanitize
+	return system.RunBenchmarkTraced(cfg, bench, systemName+"/"+core.String(), opts.scale())
+}
+
+// LatencyBreakdown regenerates the per-load latency attribution table: where
+// demand-load cycles go (core wait, L1, L2, NoC, L3, DRAM) for Base and SF
+// on OOO8, from the tracer's per-load probes. This is the tabular face of
+// the trace subsystem; `sftrace summarize` renders the same breakdown for a
+// single exported run.
+func LatencyBreakdown(opts Options) (*Table, error) {
+	systems := []string{"Base", "SF"}
+	benches := opts.benchmarks()
+	attrs := make([]trace.TileAttribution, len(systems)*len(benches))
+	errs := make([]error, len(attrs))
+	sem := make(chan struct{}, opts.parallelism())
+	var wg sync.WaitGroup
+	for si, sys := range systems {
+		for bi, b := range benches {
+			wg.Add(1)
+			go func(i int, sys, b string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				_, tr, err := TracedRun(opts, sys, config.OOO8, b)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s/%s: %w", b, sys, err)
+					return
+				}
+				attrs[i] = tr.Attribution()
+			}(si*len(benches)+bi, sys, b)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	t := &Table{
+		Title: "Load latency attribution (OOO8): where demand-load cycles go",
+		Header: []string{"benchmark", "system", "loads", "avg-lat",
+			"core-wait", "l1", "l2", "noc", "l3", "dram"},
+	}
+	for bi, b := range benches {
+		for si, sys := range systems {
+			a := attrs[si*len(benches)+bi]
+			total := float64(a.TotalCycles)
+			if total == 0 {
+				total = 1
+			}
+			avg := 0.0
+			if a.Loads > 0 {
+				avg = float64(a.TotalCycles) / float64(a.Loads)
+			}
+			row := []string{b, sys, fmt.Sprintf("%d", a.Loads), fmt.Sprintf("%.1f", avg)}
+			for bk := trace.Bucket(0); bk < trace.NumBuckets; bk++ {
+				share := float64(a.Cycles[bk]) / total
+				row = append(row, pct(share))
+				t.metric(fmt.Sprintf("%s-%s-%s", sys, b, bk), share)
+			}
+			t.Rows = append(t.Rows, row)
+			t.metric(fmt.Sprintf("%s-%s-avg-latency", sys, b), avg)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"shares are fractions of total demand-load wait cycles; dram includes the memory-controller NoC legs",
+		"loads merged into an in-flight miss charge their post-L2 wait to noc (documented approximation)")
+	return t, nil
+}
+
+// figRunner is one named figure generator.
+type figRunner struct {
+	name string
+	fn   func(Options) (*Table, error)
+}
+
+// figureRunners lists every named figure in presentation order, including
+// the ones All renders specially (area is parameterless, ablations closes
+// the report) and the trace-derived latency appendix.
+func figureRunners() []figRunner {
+	return []figRunner{
+		{"fig2", Fig02}, {"fig13", Fig13}, {"fig14", Fig14}, {"fig15", Fig15},
+		{"fig16", Fig16}, {"fig17", Fig17}, {"fig18", Fig18}, {"fig19", Fig19},
+		{"area", func(Options) (*Table, error) { return AreaTable(), nil }},
+		{"ablations", Ablations},
+		{"latency", LatencyBreakdown},
+	}
+}
+
+// Names lists the figure ids WriteFigureCSVs emits, in order.
+func Names() []string {
+	rs := figureRunners()
+	names := make([]string, len(rs))
+	for i, r := range rs {
+		names[i] = r.name
+	}
+	return names
+}
+
+// WriteFigureCSVs regenerates every figure and writes one CSV per figure
+// into dir (created if missing), named <figure>.csv. This is the `-fig all
+// -csv -out dir/` path of sfexp.
+func WriteFigureCSVs(opts Options, dir string) error {
+	return writeCSVs(figureRunners(), opts, dir)
+}
+
+func writeCSVs(runners []figRunner, opts Options, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range runners {
+		t, err := r.fn(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		f, err := os.Create(filepath.Join(dir, r.name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"streamfloat/internal/event"
 	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
+	"streamfloat/internal/trace"
 )
 
 // HeaderBytes is the per-packet header (routing, type, ids). Every message
@@ -43,6 +44,10 @@ type Mesh struct {
 	linkFree []event.Cycle
 	numLinks int
 
+	// tr, when non-nil, records send/hop/deliver events and per-link flit
+	// counters for the heatmap. Purely observational.
+	tr *trace.Tracer
+
 	// Sanitizer state: flit-conservation books per message class. A nil
 	// chk disables all probes.
 	chk          *sanitize.Checker
@@ -57,6 +62,9 @@ type Mesh struct {
 // injected into the mesh was drained by a delivery (per message class) and
 // that no delivery callback was lost. nil detaches.
 func (m *Mesh) SetChecker(chk *sanitize.Checker) { m.chk = chk }
+
+// SetTracer attaches the structured tracer to the mesh. nil detaches.
+func (m *Mesh) SetTracer(tr *trace.Tracer) { m.tr = tr }
 
 // New builds a w x h mesh with the given link width in bits and per-hop
 // router/link latencies.
@@ -147,6 +155,9 @@ func (m *Mesh) Send(src, dst int, class stats.MsgClass, payloadBytes int, delive
 	if src == dst {
 		// Local delivery through the tile's crossbar: one cycle, no link
 		// traffic.
+		if m.tr != nil {
+			m.tr.Emit(uint64(m.eng.Now()), src, trace.KindNocSend, nocKey(src, dst), 0, int64(class))
+		}
 		if m.chk != nil {
 			deliver = m.probeMessage(src, dst, class, 0, deliver)
 		}
@@ -155,6 +166,9 @@ func (m *Mesh) Send(src, dst int, class stats.MsgClass, payloadBytes int, delive
 	}
 	if m.chk != nil {
 		deliver = m.probeMessage(src, dst, class, flits, deliver)
+	}
+	if m.tr != nil {
+		m.tr.Emit(uint64(m.eng.Now()), src, trace.KindNocSend, nocKey(src, dst), int64(flits), int64(class))
 	}
 	m.st.Flits[class] += uint64(flits)
 	arrive := m.eng.Now()
@@ -166,9 +180,19 @@ func (m *Mesh) Send(src, dst int, class stats.MsgClass, payloadBytes int, delive
 		m.linkFree[l] = start + event.Cycle(flits)
 		m.st.FlitHops[class] += uint64(flits)
 		m.st.LinkBusy += uint64(flits)
+		if m.tr != nil {
+			m.tr.AddLinkFlits(l, flits)
+			m.tr.Emit(uint64(start), l/int(numDirs), trace.KindNocHop, uint64(l),
+				int64(flits), int64(start+event.Cycle(flits)))
+		}
 		arrive = start + m.routerLat + m.linkLat
 	}
 	arrive += event.Cycle(flits - 1) // tail serialization at ejection
+	if m.tr != nil {
+		// Stamped with the (future) arrival cycle at schedule time: no
+		// wrapper closure, so tracing never perturbs the delivery path.
+		m.tr.Emit(uint64(arrive), dst, trace.KindNocDeliver, nocKey(src, dst), int64(flits), int64(src))
+	}
 	m.eng.At(arrive, deliver)
 }
 
@@ -187,6 +211,10 @@ func (m *Mesh) Multicast(src int, dsts []int, class stats.MsgClass, payloadBytes
 	flits := m.Flits(payloadBytes)
 	m.st.Messages[class]++
 	m.st.Flits[class] += uint64(flits)
+	if m.tr != nil {
+		m.tr.Emit(uint64(m.eng.Now()), src, trace.KindNocSend, nocKey(src, dsts[0]),
+			int64(flits), int64(class))
+	}
 	if m.chk != nil {
 		// The tree carries the flits once however many branches deliver
 		// them; drain the books when the last destination has been served.
@@ -233,10 +261,18 @@ func (m *Mesh) Multicast(src int, dsts []int, class stats.MsgClass, payloadBytes
 			m.linkFree[l] = start + event.Cycle(flits)
 			m.st.FlitHops[class] += uint64(flits)
 			m.st.LinkBusy += uint64(flits)
+			if m.tr != nil {
+				m.tr.AddLinkFlits(l, flits)
+				m.tr.Emit(uint64(start), l/int(numDirs), trace.KindNocHop, uint64(l),
+					int64(flits), int64(start+event.Cycle(flits)))
+			}
 			arrive = start + m.routerLat + m.linkLat
 			seen[l] = arrive
 		}
 		at := arrive + event.Cycle(flits-1)
+		if m.tr != nil {
+			m.tr.Emit(uint64(at), dst, trace.KindNocDeliver, nocKey(src, dst), int64(flits), int64(src))
+		}
 		d := dst
 		m.eng.At(at, func(now event.Cycle) { deliver(d, now) })
 	}

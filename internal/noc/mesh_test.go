@@ -9,6 +9,7 @@ import (
 	"streamfloat/internal/event"
 	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
+	"streamfloat/internal/trace"
 )
 
 func newTestMesh(w, h, linkBits int) (*event.Engine, *stats.Stats, *Mesh) {
@@ -270,4 +271,17 @@ func TestAuditCatchesFlitImbalance(t *testing.T) {
 		}
 	}()
 	m.Audit()
+}
+
+// TestDirectionConstantsMatchTrace pins the private direction enum to the
+// trace package's exported mirror: link indices (tile*dirs+dir) recorded by
+// AddLinkFlits must decode correctly in trace.RenderLinkHeatmap.
+func TestDirectionConstantsMatchTrace(t *testing.T) {
+	if int(dirEast) != trace.DirEast || int(dirWest) != trace.DirWest ||
+		int(dirNorth) != trace.DirNorth || int(dirSouth) != trace.DirSouth ||
+		int(numDirs) != trace.NumLinkDirs {
+		t.Fatalf("noc direction enum (E=%d W=%d N=%d S=%d n=%d) diverged from trace (E=%d W=%d N=%d S=%d n=%d)",
+			dirEast, dirWest, dirNorth, dirSouth, numDirs,
+			trace.DirEast, trace.DirWest, trace.DirNorth, trace.DirSouth, trace.NumLinkDirs)
+	}
 }

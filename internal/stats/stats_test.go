@@ -1,6 +1,9 @@
 package stats
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestTotals(t *testing.T) {
 	var s Stats
@@ -104,6 +107,35 @@ func TestLoadLatencyHistogram(t *testing.T) {
 	}
 	if p99 := s.LoadLatencyPercentile(0.99); p99 < 256 {
 		t.Errorf("p99 = %d, want >= 256", p99)
+	}
+}
+
+func TestLoadLatencyPercentileClamping(t *testing.T) {
+	var s Stats
+	for i := 0; i < 100; i++ {
+		s.RecordLoadLatency(2) // bucket 1, upper bound 4
+	}
+	// Out-of-range percentiles clamp into (0, 1] instead of misbehaving:
+	// p <= 0 (and NaN) act as "first recorded load", p > 1 acts as 1.0.
+	p100 := s.LoadLatencyPercentile(1.0)
+	for _, p := range []float64{0, -0.5, math.NaN()} {
+		if got := s.LoadLatencyPercentile(p); got != 4 {
+			t.Errorf("percentile(%v) = %d, want 4 (first load's bucket)", p, got)
+		}
+	}
+	for _, p := range []float64{1.5, 100, math.Inf(1)} {
+		if got := s.LoadLatencyPercentile(p); got != p100 {
+			t.Errorf("percentile(%v) = %d, want %d (clamped to 1.0)", p, got, p100)
+		}
+	}
+	// Single-bucket histogram: every percentile reports that bucket's
+	// power-of-two upper bound.
+	var one Stats
+	one.RecordLoadLatency(300) // bucket 8, upper bound 512
+	for _, p := range []float64{0.01, 0.5, 1.0} {
+		if got := one.LoadLatencyPercentile(p); got != 512 {
+			t.Errorf("single-bucket percentile(%v) = %d, want 512", p, got)
+		}
 	}
 }
 

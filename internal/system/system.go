@@ -19,6 +19,7 @@ import (
 	"streamfloat/internal/prefetch"
 	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
+	"streamfloat/internal/trace"
 	"streamfloat/internal/workload"
 )
 
@@ -47,8 +48,37 @@ type Machine struct {
 	// experiment sweeps each own their books, so -race stays quiet.
 	Chk *sanitize.Checker
 
+	// Tr is the structured tracer attached via AttachTracer, or nil when
+	// tracing is off (the default — tracing is opt-in per machine).
+	Tr *trace.Tracer
+
 	bench     string
 	numPhases int
+}
+
+// NewTracer sizes a tracer for a machine configuration. label names the
+// run in exports (e.g. "SF/OOO8"); ringDepth 0 picks the default.
+func NewTracer(cfg config.Config, bench, label string, ringDepth int) *trace.Tracer {
+	return trace.New(trace.Config{
+		Tiles: cfg.Tiles(), MeshW: cfg.MeshWidth, MeshH: cfg.MeshHeight,
+		RingDepth: ringDepth, L3LatCycles: cfg.L3.LatCycles,
+		Benchmark: bench, Label: label,
+	})
+}
+
+// AttachTracer wires the tracer into every component. Call before Run; nil
+// detaches. Tracing is purely observational — the event schedule, stats and
+// results are identical with it on or off.
+func (m *Machine) AttachTracer(tr *trace.Tracer) {
+	m.Tr = tr
+	m.Mesh.SetTracer(tr)
+	m.Caches.SetTracer(tr)
+	if m.Engines != nil {
+		m.Engines.SetTracer(tr)
+	}
+	for _, c := range m.Cores {
+		c.SetTracer(tr)
+	}
 }
 
 // Build constructs the machine for cfg and prepares the named benchmark at
@@ -161,6 +191,10 @@ func (m *Machine) Run(maxCycles event.Cycle) (Results, error) {
 			c.BeginPhase(k, func() {
 				remaining--
 				if remaining == 0 {
+					if m.Tr != nil {
+						m.Tr.Emit(uint64(m.Eng.Now()), 0, trace.KindBarrier, 0,
+							int64(k), int64(m.barrierLatency()))
+					}
 					m.Eng.Schedule(m.barrierLatency(), func(event.Cycle) { runPhase(k + 1) })
 				}
 			})
@@ -186,6 +220,9 @@ func (m *Machine) Run(maxCycles event.Cycle) (Results, error) {
 	}
 	m.St.Cycles = uint64(m.Eng.Now())
 	energy.Apply(m.St, m.Cfg)
+	if m.Tr != nil {
+		m.Tr.FinishRun(m.St.Cycles)
+	}
 	return Results{
 		Benchmark: m.bench,
 		Config:    m.Cfg,
@@ -201,4 +238,20 @@ func RunBenchmark(cfg config.Config, bench string, scale float64) (Results, erro
 		return Results{}, err
 	}
 	return m.Run(0)
+}
+
+// RunBenchmarkTraced builds and runs one benchmark with tracing on,
+// returning the results alongside the finished tracer.
+func RunBenchmarkTraced(cfg config.Config, bench, label string, scale float64) (Results, *trace.Tracer, error) {
+	m, err := Build(cfg, bench, scale)
+	if err != nil {
+		return Results{}, nil, err
+	}
+	tr := NewTracer(cfg, bench, label, 0)
+	m.AttachTracer(tr)
+	res, err := m.Run(0)
+	if err != nil {
+		return Results{}, nil, err
+	}
+	return res, tr, nil
 }

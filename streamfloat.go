@@ -24,6 +24,7 @@ import (
 	"streamfloat/internal/experiments"
 	"streamfloat/internal/sanitize"
 	"streamfloat/internal/system"
+	"streamfloat/internal/trace"
 	"streamfloat/internal/workload"
 )
 
@@ -114,6 +115,32 @@ func Run(cfg Config, benchmark string, scale float64) (Results, error) {
 	return system.RunBenchmark(cfg, benchmark, scale)
 }
 
+// Tracer is the structured simulation tracer: per-tile ring buffers of
+// compact events, per-load latency attribution, stream lifecycle spans, and
+// per-link NoC traffic counts. Attach one via Machine.AttachTracer or the
+// RunTraced helper; export with WriteChromeFile (Perfetto-loadable) or the
+// sftrace command's renderers. Tracing is purely observational.
+type Tracer = trace.Tracer
+
+// TraceFile is a parsed sftrace Chrome-trace export (see trace.ReadFile).
+type TraceFile = trace.File
+
+// NewTracer sizes a tracer for cfg. label names the run in exports (e.g.
+// "SF/OOO8"); ringDepth 0 picks the default per-tile depth.
+func NewTracer(cfg Config, benchmark, label string, ringDepth int) *Tracer {
+	return system.NewTracer(cfg, benchmark, label, ringDepth)
+}
+
+// RunTraced builds and runs one benchmark with tracing attached, returning
+// the results alongside the finished tracer.
+func RunTraced(cfg Config, benchmark, label string, scale float64) (Results, *Tracer, error) {
+	return system.RunBenchmarkTraced(cfg, benchmark, label, scale)
+}
+
+// ReadTrace parses a Chrome-trace JSON file written by WriteChromeFile /
+// sfexp -trace back into its summary form.
+func ReadTrace(path string) (*TraceFile, error) { return trace.ReadFile(path) }
+
 // Area computes the stream-floating area overheads for a configuration.
 func Area(cfg Config) AreaBreakdown { return energy.Area(cfg) }
 
@@ -139,8 +166,23 @@ func AllExperiments(opts ExperimentOptions, w io.Writer) error {
 	return experiments.All(opts, w)
 }
 
+// ExperimentNames lists every figure id AllExperiments renders, in order.
+func ExperimentNames() []string { return experiments.Names() }
+
+// WriteExperimentCSVs regenerates every figure and writes one CSV per
+// figure into dir (created if missing), named <figure>.csv.
+func WriteExperimentCSVs(opts ExperimentOptions, dir string) error {
+	return experiments.WriteFigureCSVs(opts, dir)
+}
+
+// TracedExperimentRun runs one traced simulation of the named system (§VI)
+// on the given core and benchmark — the engine behind sfexp -trace.
+func TracedExperimentRun(opts ExperimentOptions, systemName string, core CoreKind, benchmark string) (Results, *Tracer, error) {
+	return experiments.TracedRun(opts, systemName, core, benchmark)
+}
+
 type errUnknownExperiment string
 
 func (e errUnknownExperiment) Error() string {
-	return "streamfloat: unknown experiment " + string(e) + " (want 2, 13-19, or area)"
+	return "streamfloat: unknown experiment " + string(e) + " (want 2, 13-19, area, ablations, or latency)"
 }
