@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"sync"
+
 	"streamfloat/internal/config"
 	"streamfloat/internal/event"
 	"streamfloat/internal/mem"
@@ -47,7 +49,61 @@ const lineSize = 64
 type tileCaches struct {
 	l1   *array
 	l2   *array
-	mshr map[uint64][]func(event.Cycle) // L2 miss merging, by line address
+	mshr map[uint64][]*accessOp // L2 miss merging, by line address
+}
+
+// accessOp carries one in-flight access through the hierarchy's latency
+// chain (L1 lookup → L2 lookup → MSHR wait) without allocating a closure
+// per stage. Ops are pooled; the terminal stage of each path returns them.
+type accessOp struct {
+	s    *System
+	tile int
+	addr uint64
+	la   uint64
+	kind Kind
+	meta Meta
+	done func(event.Cycle)
+}
+
+var accessOpPool = sync.Pool{New: func() any { return new(accessOp) }}
+
+func putAccessOp(op *accessOp) {
+	*op = accessOp{} // drop done/probe references before pooling
+	accessOpPool.Put(op)
+}
+
+// Stage handlers for the fixed-payload scheduling form: one per pipeline
+// stage, each pulling its access from the event's Ref.
+func runLoadAfterL1(_ event.Cycle, ref event.Ref) {
+	op := ref.Obj.(*accessOp)
+	op.s.loadAfterL1(op)
+}
+
+func runLoadAfterL2(_ event.Cycle, ref event.Ref) {
+	op := ref.Obj.(*accessOp)
+	op.s.loadAfterL2(op)
+}
+
+func runStoreAfterL1(_ event.Cycle, ref event.Ref) {
+	op := ref.Obj.(*accessOp)
+	op.s.storeAfterL1(op)
+}
+
+func runL2Prefetch(_ event.Cycle, ref event.Ref) {
+	op := ref.Obj.(*accessOp)
+	op.s.l2Prefetch(op.tile, op.la, op.meta)
+	putAccessOp(op)
+}
+
+// complete wakes the access once its fill (own or merged-into) arrives:
+// probed loads finalize their latency attribution, then the core is
+// notified and the op returns to the pool.
+func (op *accessOp) complete(now event.Cycle) {
+	if p := op.meta.Probe; p != nil && op.kind != Write {
+		op.s.tr.FinishLoad(op.tile, p, uint64(now))
+	}
+	op.s.notifyDone(op.done)
+	putAccessOp(op)
 }
 
 // System is the full memory hierarchy of the simulated machine.
@@ -91,7 +147,7 @@ func NewSystem(eng *event.Engine, st *stats.Stats, cfg config.Config, mesh *noc.
 		s.tiles[i] = &tileCaches{
 			l1:   newArray(cfg.L1.SizeBytes, cfg.L1.Ways, cfg.L1.LineBytes, cfg.L1.BRRIPProb),
 			l2:   newArray(cfg.L2.SizeBytes, cfg.L2.Ways, cfg.L2.LineBytes, cfg.L2.BRRIPProb),
-			mshr: make(map[uint64][]func(event.Cycle)),
+			mshr: make(map[uint64][]*accessOp),
 		}
 		bank := newArray(cfg.L3.SizeBytes, cfg.L3.Ways, cfg.L3.LineBytes, cfg.L3.BRRIPProb)
 		// Bank-local indexing: number the lines a bank actually owns
@@ -158,19 +214,15 @@ func (s *System) Access(tile int, addr uint64, kind Kind, meta Meta, done func(e
 		p.Enq, p.Issue = now, now
 		meta.Probe = p
 	}
+	op := accessOpPool.Get().(*accessOp)
+	*op = accessOp{s: s, tile: tile, addr: addr, la: la, kind: kind, meta: meta, done: done}
 	switch kind {
 	case PrefL2:
-		s.eng.Schedule(event.Cycle(s.cfg.L2.LatCycles), func(event.Cycle) {
-			s.l2Prefetch(tile, la, meta)
-		})
+		s.eng.ScheduleCall(event.Cycle(s.cfg.L2.LatCycles), runL2Prefetch, event.Ref{Obj: op})
 	case Write:
-		s.eng.Schedule(event.Cycle(s.cfg.L1.LatCycles), func(event.Cycle) {
-			s.storeAfterL1(tile, addr, la, meta, done)
-		})
+		s.eng.ScheduleCall(event.Cycle(s.cfg.L1.LatCycles), runStoreAfterL1, event.Ref{Obj: op})
 	default: // Read, PrefL1, StreamRead
-		s.eng.Schedule(event.Cycle(s.cfg.L1.LatCycles), func(event.Cycle) {
-			s.loadAfterL1(tile, addr, la, kind, meta, done)
-		})
+		s.eng.ScheduleCall(event.Cycle(s.cfg.L1.LatCycles), runLoadAfterL1, event.Ref{Obj: op})
 	}
 }
 
@@ -181,12 +233,13 @@ func (s *System) notifyDone(done func(event.Cycle)) {
 }
 
 // loadAfterL1 runs once the L1 tag lookup completes.
-func (s *System) loadAfterL1(tile int, addr, la uint64, kind Kind, meta Meta, done func(event.Cycle)) {
+func (s *System) loadAfterL1(op *accessOp) {
+	tile, la, kind, meta := op.tile, op.la, op.kind, op.meta
 	tc := s.tiles[tile]
 	demand := kind == Read || kind == StreamRead
 	l := tc.l1.lookup(la)
 	if s.l1Observer != nil && demand {
-		s.l1Observer(tile, addr, meta.PC, l != nil)
+		s.l1Observer(tile, op.addr, meta.PC, l != nil)
 	}
 	if l != nil {
 		if demand {
@@ -203,7 +256,8 @@ func (s *System) loadAfterL1(tile int, addr, la uint64, kind Kind, meta Meta, do
 			p.Level = trace.LevelL1
 			s.tr.FinishLoad(tile, p, now)
 		}
-		s.notifyDone(done)
+		s.notifyDone(op.done)
+		putAccessOp(op)
 		return
 	}
 	if demand {
@@ -217,9 +271,7 @@ func (s *System) loadAfterL1(tile int, addr, la uint64, kind Kind, meta Meta, do
 		p.L1Done = uint64(s.eng.Now())
 	}
 	// L1 miss: continue to L2 after its lookup latency.
-	s.eng.Schedule(event.Cycle(s.cfg.L2.LatCycles), func(event.Cycle) {
-		s.loadAfterL2(tile, la, kind, meta, done)
-	})
+	s.eng.ScheduleCall(event.Cycle(s.cfg.L2.LatCycles), runLoadAfterL2, event.Ref{Obj: op})
 }
 
 // demandHitLine updates reuse/prefetch/stream bookkeeping when a demand
@@ -237,7 +289,8 @@ func (s *System) demandHitLine(tile int, l *line) {
 	}
 }
 
-func (s *System) loadAfterL2(tile int, la uint64, kind Kind, meta Meta, done func(event.Cycle)) {
+func (s *System) loadAfterL2(op *accessOp) {
+	tile, la, kind, meta := op.tile, op.la, op.kind, op.meta
 	tc := s.tiles[tile]
 	demand := kind == Read || kind == StreamRead
 	p := meta.Probe
@@ -261,7 +314,8 @@ func (s *System) loadAfterL2(tile int, la uint64, kind Kind, meta Meta, done fun
 			p.Level = trace.LevelL2
 			s.tr.FinishLoad(tile, p, uint64(s.eng.Now()))
 		}
-		s.notifyDone(done)
+		s.notifyDone(op.done)
+		putAccessOp(op)
 		return
 	}
 	if demand {
@@ -274,23 +328,14 @@ func (s *System) loadAfterL2(tile int, la uint64, kind Kind, meta Meta, done fun
 			s.tr.Emit(uint64(s.eng.Now()), tile, trace.KindL2Miss, la, int64(meta.StreamID), 0)
 		}
 	}
-	// Merge into an outstanding miss if one exists. A probed load finalizes
-	// its attribution when the fill (its own or the one it merged into)
-	// wakes it.
-	var finish func(event.Cycle)
-	if p != nil {
-		finish = func(now event.Cycle) {
-			s.tr.FinishLoad(tile, p, uint64(now))
-			s.notifyDone(done)
-		}
-	} else {
-		finish = func(now event.Cycle) { s.notifyDone(done) }
-	}
+	// Merge into an outstanding miss if one exists: the op parks in the MSHR
+	// and op.complete runs when the fill (its own or the one it merged into)
+	// arrives.
 	if waiters, ok := tc.mshr[la]; ok {
-		tc.mshr[la] = append(waiters, finish)
+		tc.mshr[la] = append(waiters, op)
 		return
 	}
-	tc.mshr[la] = []func(event.Cycle){finish}
+	tc.mshr[la] = []*accessOp{op}
 	l3kind := stats.L3CoreNormal
 	if kind == StreamRead {
 		l3kind = stats.L3CoreStream
@@ -299,11 +344,12 @@ func (s *System) loadAfterL2(tile int, la uint64, kind Kind, meta Meta, done fun
 }
 
 // storeAfterL1 handles the store path once L1 lookup completes.
-func (s *System) storeAfterL1(tile int, addr, la uint64, meta Meta, done func(event.Cycle)) {
+func (s *System) storeAfterL1(op *accessOp) {
+	tile, la, meta := op.tile, op.la, op.meta
 	tc := s.tiles[tile]
 	l1 := tc.l1.lookup(la)
 	if s.l1Observer != nil {
-		s.l1Observer(tile, addr, meta.PC, l1 != nil)
+		s.l1Observer(tile, op.addr, meta.PC, l1 != nil)
 	}
 	l2 := tc.l2.lookup(la)
 	if l2 != nil && (l2.state == stModified || l2.state == stExclusive) {
@@ -324,7 +370,8 @@ func (s *System) storeAfterL1(tile int, addr, la uint64, meta Meta, done func(ev
 			l1.dirty = true
 			tc.l1.touch(l1)
 		}
-		s.notifyDone(done)
+		s.notifyDone(op.done)
+		putAccessOp(op)
 		return
 	}
 	s.st.L1Misses++
@@ -347,12 +394,11 @@ func (s *System) storeAfterL1(tile int, addr, la uint64, meta Meta, done func(ev
 			s.tr.Emit(uint64(s.eng.Now()), tile, trace.KindL2Miss, la, int64(meta.StreamID), 1)
 		}
 	}
-	finish := func(now event.Cycle) { s.notifyDone(done) }
 	if waiters, ok := tc.mshr[la]; ok {
-		tc.mshr[la] = append(waiters, finish)
+		tc.mshr[la] = append(waiters, op)
 		return
 	}
-	tc.mshr[la] = []func(event.Cycle){finish}
+	tc.mshr[la] = []*accessOp{op}
 	s.fetch(tile, la, true, stats.L3CoreNormal, meta, Write)
 }
 
@@ -435,7 +481,7 @@ func (s *System) finishFetch(tile int, la uint64, granted state, meta Meta, kind
 	now := s.eng.Now()
 	for _, w := range waiters {
 		if w != nil {
-			w(now)
+			w.complete(now)
 		}
 	}
 }

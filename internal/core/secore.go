@@ -176,7 +176,7 @@ func (c *seCore) configurePhase(phase *workload.Phase, ready func()) {
 	}
 
 	// Decode/commit latency for the configure instructions.
-	c.e.eng.Schedule(2, func(event.Cycle) { ready() })
+	c.e.eng.ScheduleCall(2, runThunk, event.Ref{Obj: ready})
 }
 
 // detectOffsetGroups finds sets of affine streams that are constant-offset
@@ -315,8 +315,10 @@ func (c *seCore) floatStream(s *coreStream, startElem int64) {
 				delete(m.demand, e)
 				addr := m.decl.Affine.AddrAt(e)
 				for _, cb := range cbs {
-					if !c.e.l2s[c.tile].requestByAddr(s.group, addr, cb) {
-						c.fallback(addr, m.decl, cb)
+					// Parked demand still owes its FIFO read on service.
+					wcb := c.fifoWrap(cb)
+					if !c.e.l2s[c.tile].requestByAddr(s.group, addr, wcb) {
+						c.fallback(addr, m.decl, wcb)
 					}
 				}
 			}
@@ -348,8 +350,10 @@ func (c *seCore) floatStream(s *coreStream, startElem int64) {
 		cbs := s.demand[e]
 		delete(s.demand, e)
 		for _, cb := range cbs {
-			if !c.e.l2s[c.tile].requestLeader(s.group, e, cb) {
-				c.fallback(s.decl.Affine.AddrAt(e), s.decl, cb)
+			// Parked demand still owes its FIFO read on service.
+			wcb := c.fifoWrap(cb)
+			if !c.e.l2s[c.tile].requestLeader(s.group, e, wcb) {
+				c.fallback(s.decl.Affine.AddrAt(e), s.decl, wcb)
 			}
 		}
 	}
@@ -490,16 +494,12 @@ func (c *seCore) requestElement(sid int, idx int64, cb func(event.Cycle)) {
 			inner(now)
 		}
 	}
-	fifoHit := func(event.Cycle) {
-		c.e.st.SEFIFOAccesses++
-		c.e.eng.Schedule(1, cb)
-	}
 	switch s.kind {
 	case csCached:
-		c.requestCached(s, idx, fifoHit)
+		c.requestCached(s, idx, cb)
 	case csFloatLeader:
 		if idx < s.floatFrom {
-			c.requestCached(s, idx, fifoHit)
+			c.requestCached(s, idx, cb)
 			return
 		}
 		// A floated stream's requests still check the private tags (§IV-A);
@@ -535,7 +535,7 @@ func (c *seCore) requestElement(sid int, idx int64, cb func(event.Cycle)) {
 			el = s.elems[idx]
 		}
 		if el.arrived {
-			fifoHit(c.e.eng.Now())
+			c.fifoServe(cb)
 			return
 		}
 		el.waiters = append(el.waiters, cb)
@@ -545,7 +545,7 @@ func (c *seCore) requestElement(sid int, idx int64, cb func(event.Cycle)) {
 			c.issueIndirect(s, idx)
 			el := s.elems[idx]
 			if el.arrived {
-				fifoHit(c.e.eng.Now())
+				c.fifoServe(cb)
 			} else {
 				el.waiters = append(el.waiters, cb)
 			}
@@ -569,6 +569,22 @@ func (c *seCore) sunkAddr(s *coreStream, idx int64) uint64 {
 	return s.decl.Affine.AddrAt(idx)
 }
 
+// fifoServe charges one SEcore FIFO read and hands the element to the
+// pipeline on the next cycle (the FIFO read-port latency). Raw element
+// callbacks travel unwrapped through the FIFO structures; this is the single
+// point where the FIFO access is accounted.
+func (c *seCore) fifoServe(cb func(event.Cycle)) {
+	c.e.st.SEFIFOAccesses++
+	c.e.eng.Schedule(1, cb)
+}
+
+// fifoWrap defers fifoServe until the wrapped callback's data is ready: used
+// where a request leaves the FIFO structures (sink-gap fallbacks, demand
+// rerouted to the floated path) but must still pay the FIFO read on return.
+func (c *seCore) fifoWrap(cb func(event.Cycle)) func(event.Cycle) {
+	return func(event.Cycle) { c.fifoServe(cb) }
+}
+
 // requestCached serves an element from the SEcore FIFO.
 func (c *seCore) requestCached(s *coreStream, idx int64, cb func(event.Cycle)) {
 	if seq, ok := s.elemSeq[idx]; ok {
@@ -584,7 +600,7 @@ func (c *seCore) requestCached(s *coreStream, idx int64, cb func(event.Cycle)) {
 	}
 	if idx < s.cachedStart {
 		// A gap left by a sink: serve with a plain demand load.
-		c.fallback(s.decl.Affine.AddrAt(idx), s.decl, cb)
+		c.fallback(s.decl.Affine.AddrAt(idx), s.decl, c.fifoWrap(cb))
 		return
 	}
 	// Beyond the prefetch frontier: park until the walker reaches it.
@@ -594,7 +610,7 @@ func (c *seCore) requestCached(s *coreStream, idx int64, cb func(event.Cycle)) {
 // serveCached hands one element to the pipeline and frees the FIFO slot
 // once the whole line has been consumed.
 func (c *seCore) serveCached(s *coreStream, seq int64, cb func(event.Cycle)) {
-	cb(c.e.eng.Now())
+	c.fifoServe(cb)
 	line := s.lines[seq]
 	if line == nil {
 		return

@@ -197,8 +197,7 @@ func (l *seL2) arrive(g *l2Group, seq int64) {
 	}
 	b.arrived = true
 	for _, w := range b.waiters {
-		w := w
-		l.e.eng.Schedule(2, func(c event.Cycle) { w(c) })
+		l.e.eng.Schedule(2, w)
 	}
 	b.waiters = nil
 	if g.onArrive != nil {
@@ -345,8 +344,7 @@ func (l *seL2) indirectArrive(g *l2Group, childSid int, idx int64) {
 	l.e.st.SEL2Accesses++
 	st.arrived = true
 	for _, w := range st.waiters {
-		w := w
-		l.e.eng.Schedule(2, func(c event.Cycle) { w(c) })
+		l.e.eng.Schedule(2, w)
 	}
 	st.waiters = nil
 }

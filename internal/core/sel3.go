@@ -177,13 +177,19 @@ func (b *seL3) install(s *l3Stream) {
 	b.groups = append(b.groups, cg)
 }
 
+// runThunk and runL3Tick are fixed-payload event handlers: scheduling them
+// allocates nothing, unlike a per-call closure or method value.
+func runThunk(_ event.Cycle, ref event.Ref) { ref.Obj.(func())() }
+
+func runL3Tick(now event.Cycle, ref event.Ref) { ref.Obj.(*seL3).tick(now) }
+
 // wake starts the issue loop if it is idle.
 func (b *seL3) wake() {
 	if b.ticking {
 		return
 	}
 	b.ticking = true
-	b.e.eng.Schedule(1, b.tick)
+	b.e.eng.ScheduleCall(1, runL3Tick, event.Ref{Obj: b})
 }
 
 // tick is the issue unit: one request per cycle, round-robin across
@@ -193,7 +199,7 @@ func (b *seL3) tick(event.Cycle) {
 		issue := b.indQ[0]
 		b.indQ = b.indQ[1:]
 		issue()
-		b.e.eng.Schedule(1, b.tick)
+		b.e.eng.ScheduleCall(1, runL3Tick, event.Ref{Obj: b})
 		return
 	}
 	// Prune finished groups.
@@ -209,7 +215,7 @@ func (b *seL3) tick(event.Cycle) {
 		g := b.groups[(b.rr+k)%n]
 		if b.tryIssue(g) {
 			b.rr = (b.rr + k + 1) % max(1, len(b.groups))
-			b.e.eng.Schedule(1, b.tick)
+			b.e.eng.ScheduleCall(1, runL3Tick, event.Ref{Obj: b})
 			return
 		}
 	}

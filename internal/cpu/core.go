@@ -113,7 +113,7 @@ func (c *Core) BeginPhase(idx int, done func()) {
 	c.inflight, c.nextIter, c.retired = 0, 0, 0
 	c.issueReady = float64(c.eng.Now())
 	if c.phase.NumIters == 0 {
-		c.eng.Schedule(0, func(event.Cycle) { done() })
+		c.eng.ScheduleCall(0, runThunk, event.Ref{Obj: done})
 		return
 	}
 	c.window = c.computeWindow()
@@ -142,6 +142,14 @@ func (c *Core) computeWindow() int {
 	return w
 }
 
+// Fixed-payload event handlers: the hot per-iteration and per-phase events
+// schedule through these instead of allocating a closure each.
+func runThunk(_ event.Cycle, ref event.Ref) { ref.Obj.(func())() }
+
+func runBeginIter(_ event.Cycle, ref event.Ref) { ref.Obj.(*Core).beginIter(ref.A) }
+
+func runRetire(_ event.Cycle, ref event.Ref) { ref.Obj.(*Core).retire(ref.A) }
+
 func (c *Core) startIters() {
 	for c.inflight < c.window && c.nextIter < c.phase.NumIters {
 		i := c.nextIter
@@ -152,7 +160,7 @@ func (c *Core) startIters() {
 			at = c.issueReady
 		}
 		c.issueReady = at + float64(c.phase.InstrsPerIter)/float64(c.params.IssueWidth)
-		c.eng.At(event.Cycle(at), func(event.Cycle) { c.beginIter(i) })
+		c.eng.AtCall(event.Cycle(at), runBeginIter, event.Ref{Obj: c, A: i})
 	}
 }
 
@@ -165,7 +173,7 @@ func (c *Core) beginIter(i int64) {
 	pending := 0
 	var onLoad func(event.Cycle)
 	complete := func() {
-		c.eng.Schedule(event.Cycle(c.phase.ComputeCycles), func(event.Cycle) { c.retire(i) })
+		c.eng.ScheduleCall(event.Cycle(c.phase.ComputeCycles), runRetire, event.Ref{Obj: c, A: i})
 	}
 	onLoad = func(event.Cycle) {
 		pending--

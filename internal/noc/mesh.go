@@ -44,6 +44,17 @@ type Mesh struct {
 	linkFree []event.Cycle
 	numLinks int
 
+	// pathBuf is the scratch route reused by path(): the mesh is driven from
+	// the single event-loop goroutine and every route is consumed before the
+	// next one is computed.
+	pathBuf []int
+
+	// Multicast tree-link dedup, epoch-stamped so no per-call map is needed:
+	// seenEpoch[l] == epoch marks link l as already reserved by this call.
+	seenArrive []event.Cycle
+	seenEpoch  []uint64
+	epoch      uint64
+
 	// tr, when non-nil, records send/hop/deliver events and per-link flit
 	// counters for the heatmap. Purely observational.
 	tr *trace.Tracer
@@ -120,7 +131,7 @@ func (m *Mesh) Flits(payloadBytes int) int {
 // indices (each link identified by its source router and exit direction).
 // An empty path means src == dst.
 func (m *Mesh) path(src, dst int) []int {
-	links := make([]int, 0, m.Hops(src, dst))
+	links := m.pathBuf[:0]
 	x, y := m.Coord(src)
 	dx, dy := m.Coord(dst)
 	for x != dx {
@@ -143,6 +154,7 @@ func (m *Mesh) path(src, dst int) []int {
 			y--
 		}
 	}
+	m.pathBuf = links
 	return links
 }
 
@@ -150,6 +162,22 @@ func (m *Mesh) path(src, dst int) []int {
 // modeled by reserving each traversed link for the message's flit count;
 // latency is per-hop router+link plus serialization of the tail.
 func (m *Mesh) Send(src, dst int, class stats.MsgClass, payloadBytes int, deliver func(event.Cycle)) {
+	m.SendCall(src, dst, class, payloadBytes, runDeliver, event.Ref{Obj: deliver})
+}
+
+// runDeliver and runDeliverTo adapt the two delivery-callback shapes onto
+// the fixed-payload event form; the func values ride in Ref.Obj unboxed.
+func runDeliver(now event.Cycle, ref event.Ref) {
+	ref.Obj.(func(event.Cycle))(now)
+}
+
+func runDeliverTo(now event.Cycle, ref event.Ref) {
+	ref.Obj.(func(int, event.Cycle))(int(ref.A), now)
+}
+
+// SendCall is Send with a fixed-payload delivery callback: call(now, ref)
+// fires at arrival and the whole send allocates nothing.
+func (m *Mesh) SendCall(src, dst int, class stats.MsgClass, payloadBytes int, call event.CallFunc, ref event.Ref) {
 	flits := m.Flits(payloadBytes)
 	m.st.Messages[class]++
 	if src == dst {
@@ -159,13 +187,13 @@ func (m *Mesh) Send(src, dst int, class stats.MsgClass, payloadBytes int, delive
 			m.tr.Emit(uint64(m.eng.Now()), src, trace.KindNocSend, nocKey(src, dst), 0, int64(class))
 		}
 		if m.chk != nil {
-			deliver = m.probeMessage(src, dst, class, 0, deliver)
+			call, ref = m.probeMessage(src, dst, class, 0, call, ref)
 		}
-		m.eng.Schedule(1, deliver)
+		m.eng.ScheduleCall(1, call, ref)
 		return
 	}
 	if m.chk != nil {
-		deliver = m.probeMessage(src, dst, class, flits, deliver)
+		call, ref = m.probeMessage(src, dst, class, flits, call, ref)
 	}
 	if m.tr != nil {
 		m.tr.Emit(uint64(m.eng.Now()), src, trace.KindNocSend, nocKey(src, dst), int64(flits), int64(class))
@@ -193,7 +221,7 @@ func (m *Mesh) Send(src, dst int, class stats.MsgClass, payloadBytes int, delive
 		// wrapper closure, so tracing never perturbs the delivery path.
 		m.tr.Emit(uint64(arrive), dst, trace.KindNocDeliver, nocKey(src, dst), int64(flits), int64(src))
 	}
-	m.eng.At(arrive, deliver)
+	m.eng.AtCall(arrive, call, ref)
 }
 
 // Multicast routes one message to several destinations over a shared X-Y
@@ -204,8 +232,8 @@ func (m *Mesh) Multicast(src int, dsts []int, class stats.MsgClass, payloadBytes
 		return
 	}
 	if len(dsts) == 1 {
-		d := dsts[0]
-		m.Send(src, d, class, payloadBytes, func(now event.Cycle) { deliver(d, now) })
+		m.SendCall(src, dsts[0], class, payloadBytes, runDeliverTo,
+			event.Ref{Obj: deliver, A: int64(dsts[0])})
 		return
 	}
 	flits := m.Flits(payloadBytes)
@@ -236,21 +264,26 @@ func (m *Mesh) Multicast(src int, dsts []int, class stats.MsgClass, payloadBytes
 		}
 	}
 	// Union of links across destination paths; each tree link carries the
-	// flits exactly once.
-	seen := make(map[int]event.Cycle) // link -> arrival at link head
+	// flits exactly once. Links already reserved by an earlier branch are
+	// recognized by their epoch stamp.
+	if m.seenEpoch == nil {
+		m.seenArrive = make([]event.Cycle, len(m.linkFree))
+		m.seenEpoch = make([]uint64, len(m.linkFree))
+	}
+	m.epoch++
 	var unicastHops, treeHops int
 	for _, dst := range dsts {
 		if dst == src {
-			m.eng.Schedule(1, func(now event.Cycle) { deliver(dst, now) })
+			m.eng.ScheduleCall(1, runDeliverTo, event.Ref{Obj: deliver, A: int64(dst)})
 			continue
 		}
 		arrive := m.eng.Now()
 		for _, l := range m.path(src, dst) {
 			unicastHops++
-			if a, ok := seen[l]; ok {
+			if m.seenEpoch[l] == m.epoch {
 				// Link already reserved by an earlier branch of the tree;
 				// reuse its timing.
-				arrive = a
+				arrive = m.seenArrive[l]
 				continue
 			}
 			treeHops++
@@ -267,14 +300,14 @@ func (m *Mesh) Multicast(src int, dsts []int, class stats.MsgClass, payloadBytes
 					int64(flits), int64(start+event.Cycle(flits)))
 			}
 			arrive = start + m.routerLat + m.linkLat
-			seen[l] = arrive
+			m.seenArrive[l] = arrive
+			m.seenEpoch[l] = m.epoch
 		}
 		at := arrive + event.Cycle(flits-1)
 		if m.tr != nil {
 			m.tr.Emit(uint64(at), dst, trace.KindNocDeliver, nocKey(src, dst), int64(flits), int64(src))
 		}
-		d := dst
-		m.eng.At(at, func(now event.Cycle) { deliver(d, now) })
+		m.eng.AtCall(at, runDeliverTo, event.Ref{Obj: deliver, A: int64(dst)})
 	}
 	if unicastHops > treeHops {
 		m.st.MulticastSave += uint64((unicastHops - treeHops) * flits)
@@ -288,21 +321,23 @@ func nocKey(src, dst int) uint64 {
 }
 
 // probeMessage books one unicast message into the sanitizer's conservation
-// accounts and returns a wrapped delivery callback that balances them.
-// flits is 0 for local (src == dst) deliveries, which never touch a link.
-func (m *Mesh) probeMessage(src, dst int, class stats.MsgClass, flits int, deliver func(event.Cycle)) func(event.Cycle) {
+// accounts and returns a wrapped delivery callback that balances them
+// (allocating — the sanitizer is off in measured runs). flits is 0 for
+// local (src == dst) deliveries, which never touch a link.
+func (m *Mesh) probeMessage(src, dst int, class stats.MsgClass, flits int, call event.CallFunc, ref event.Ref) (event.CallFunc, event.Ref) {
 	m.sanInjected[class] += uint64(flits)
 	m.sanInFlight++
 	m.chk.Trace(sanitize.Record{
 		Cycle: uint64(m.eng.Now()), Tile: src, Comp: "noc", Event: "send:" + class.String(),
 		Key: nocKey(src, dst), A: int64(flits), B: int64(dst),
 	})
-	return func(now event.Cycle) {
+	wrapped := func(now event.Cycle, _ event.Ref) {
 		m.sanInFlight--
 		m.sanDelivered++
 		m.sanDrained[class] += uint64(flits)
-		deliver(now)
+		call(now, ref)
 	}
+	return wrapped, event.Ref{}
 }
 
 // Audit verifies the end-of-run conservation laws: no delivery is still in

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# scripts/bench.sh — capture one point of the BENCH trajectory.
+#
+# Runs the Go benchmarks with -benchmem and writes both the raw `go test`
+# output (results/bench_<idx>.txt, benchstat-compatible) and a parsed JSON
+# summary (BENCH_<idx>.json) with mean ns/op, B/op, allocs/op and the headline
+# figure metrics each benchmark reports.
+#
+# Usage:
+#   scripts/bench.sh                 # next index, full suite, count=5
+#   scripts/bench.sh 2               # explicit index
+#   scripts/bench.sh 2 'Fig13|SingleRun|ScheduleFire' 5
+#
+# Compare two trajectory points (or use benchstat on the raw files):
+#   go run ./scripts/benchjson -compare BENCH_1.json BENCH_2.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+IDX="${1:-}"
+BENCH="${2:-.}"
+COUNT="${3:-5}"
+
+if [[ -z "$IDX" ]]; then
+    IDX=1
+    while [[ -e "BENCH_${IDX}.json" ]]; do IDX=$((IDX + 1)); done
+fi
+
+RAW="results/bench_${IDX}.txt"
+mkdir -p results
+
+echo "bench.sh: index ${IDX}, bench regex '${BENCH}', count ${COUNT}" >&2
+go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" -timeout 0 \
+    . ./internal/event/ | tee "$RAW"
+
+go run ./scripts/benchjson -raw "$RAW" -out "BENCH_${IDX}.json"
+echo "bench.sh: wrote ${RAW} and BENCH_${IDX}.json" >&2
