@@ -7,6 +7,7 @@
 //	sfexp -fig 15 -bench mv,conv3d                 # restricted benchmark set
 //	sfexp -fig all -csv -out results/              # one CSV per figure
 //	sfexp -fig 13 -bench pathfinder -trace out.json # plus a Chrome-trace export
+//	sfexp -fig 13 -cache ~/.cache/sf               # memoize runs on disk
 package main
 
 import (
@@ -17,15 +18,24 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 
 	"streamfloat"
+	"streamfloat/internal/serve"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sfexp: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run carries the whole program so that every exit path unwinds the deferred
+// finalizers: the CPU profile is stopped, the heap profile written, and the
+// -out file closed even when a sweep or export fails (log.Fatal in main
+// would skip all three).
+func run() (err error) {
 	var (
 		fig       = flag.String("fig", "all", "figure to regenerate: 2, 13-19, area, ablations, latency, or all")
 		scale     = flag.Float64("scale", 0.25, "dataset scale (1.0 = calibrated full size)")
@@ -35,6 +45,7 @@ func main() {
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of an aligned table (with -fig all: one CSV per figure into -out)")
 		chart     = flag.String("chart", "", "also render an ASCII bar chart of metrics with this suffix (e.g. speedup)")
 		san       = flag.String("sanitize", "auto", "runtime invariant probes: on, off, or auto (on inside go test, off here)")
+		cacheDir  = flag.String("cache", "", "serve simulations from a result-cache directory (shared with sfserve)")
 		tracePath = flag.String("trace", "", "also run one traced simulation and write Chrome-trace JSON here (inspect with sftrace or ui.perfetto.dev)")
 		traceSys  = flag.String("tracesys", "SF", "system for the -trace run (Base, Stride, Bingo, SS, SF, ...)")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -43,37 +54,50 @@ func main() {
 	flag.Parse()
 
 	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			log.Fatal(err)
+		f, ferr := os.Create(*cpuProf)
+		if ferr != nil {
+			return ferr
 		}
 		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			return perr
 		}
 		defer pprof.StopCPUProfile()
 	}
 	if *memProf != "" {
 		defer func() {
-			f, err := os.Create(*memProf)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer f.Close()
-			runtime.GC() // settle live-heap numbers before the snapshot
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatal(err)
+			if perr := writeHeapProfile(*memProf); err == nil {
+				err = perr
 			}
 		}()
 	}
 
 	sanMode, err := streamfloat.ParseSanitizeMode(*san)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	opts := streamfloat.ExperimentOptions{Scale: *scale, Parallelism: *par, Sanitize: sanMode}
-	if *benches != "" {
-		opts.Benchmarks = strings.Split(*benches, ",")
+
+	// Benchmark names are trimmed and validated up front: `-bench "mv, nn"`
+	// either runs mv and nn or reports the typo immediately, never minutes
+	// into a sweep.
+	opts.Benchmarks, err = streamfloat.ParseBenchmarks(*benches)
+	if err != nil {
+		return err
+	}
+
+	var store *serve.Store
+	if *cacheDir != "" {
+		store, err = serve.NewStore(0, *cacheDir)
+		if err != nil {
+			return err
+		}
+		opts.Cache = store
+		defer func() {
+			st := store.Stats()
+			log.Printf("cache: %d mem hits, %d disk hits, %d misses, %d dedups (dir %s)",
+				st.Hits, st.DiskHits, st.Misses, st.Dedups, *cacheDir)
+		}()
 	}
 
 	// -fig all -csv writes one CSV per figure; -out names the directory.
@@ -83,36 +107,38 @@ func main() {
 			dir = "."
 		}
 		if err := streamfloat.WriteExperimentCSVs(opts, dir); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		runTrace(opts, *tracePath, *traceSys)
-		return
+		return runTrace(opts, *tracePath, *traceSys)
 	}
 
 	var w io.Writer = os.Stdout
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			log.Fatal(err)
+		f, ferr := os.Create(*outPath)
+		if ferr != nil {
+			return ferr
 		}
-		defer f.Close()
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
 		w = f
 	}
 
 	if *fig == "all" {
 		if err := streamfloat.AllExperiments(opts, w); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		runTrace(opts, *tracePath, *traceSys)
-		return
+		return runTrace(opts, *tracePath, *traceSys)
 	}
 	t, err := streamfloat.Experiment(*fig, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *asCSV {
 		if err := t.WriteCSV(w); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	} else {
 		t.Fprint(w)
@@ -120,15 +146,34 @@ func main() {
 	if *chart != "" {
 		t.Chart(w, *chart, 48)
 	}
-	fmt.Fprintln(w)
-	runTrace(opts, *tracePath, *traceSys)
+	if !*asCSV {
+		// Trailing separator for the aligned-table form only: CSV output
+		// must stay machine-parseable with no stray blank record.
+		fmt.Fprintln(w)
+	}
+	return runTrace(opts, *tracePath, *traceSys)
+}
+
+// writeHeapProfile snapshots the live heap into path.
+func writeHeapProfile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	runtime.GC() // settle live-heap numbers before the snapshot
+	return pprof.WriteHeapProfile(f)
 }
 
 // runTrace handles -trace: one traced OOO8 simulation of the first selected
 // benchmark, exported as Perfetto-loadable Chrome-trace JSON.
-func runTrace(opts streamfloat.ExperimentOptions, path, systemName string) {
+func runTrace(opts streamfloat.ExperimentOptions, path, systemName string) error {
 	if path == "" {
-		return
+		return nil
 	}
 	bench := "nn"
 	if len(opts.Benchmarks) > 0 {
@@ -136,12 +181,13 @@ func runTrace(opts streamfloat.ExperimentOptions, path, systemName string) {
 	}
 	res, tr, err := streamfloat.TracedExperimentRun(opts, systemName, streamfloat.OOO8, bench)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := tr.WriteChromeFile(path); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	a := tr.Attribution()
 	log.Printf("trace: %s/%s on %s: %d cycles, %d loads, %d spans -> %s (sftrace summarize %s)",
 		systemName, "OOO8", bench, res.Stats.Cycles, a.Loads, len(tr.Spans()), path, path)
+	return nil
 }

@@ -1,0 +1,97 @@
+// Command sfserve is the simulation service: an HTTP daemon that runs
+// simulation jobs through a bounded worker pool and a content-addressed
+// result cache, so identical (config, benchmark, scale) points — which are
+// fully deterministic — are simulated once and served from cache thereafter.
+//
+// Usage:
+//
+//	sfserve -addr :8080 -cache /var/cache/sf -workers 8 -queue 64
+//
+// Endpoints:
+//
+//	POST /run          {"system":"SF","core":"OOO8","benchmark":"mv","scale":0.25}
+//	GET  /figure/13?scale=0.05&bench=nn,conv3d&format=csv
+//	GET  /healthz
+//	GET  /metrics
+//
+// Jobs are cancellable end to end: a client disconnect or per-job timeout
+// stops the simulation at its next event-loop cancellation check instead of
+// letting it run to completion. SIGTERM/SIGINT drain gracefully: health
+// flips to 503, new jobs are rejected, in-flight jobs finish (up to
+// -drain-timeout), then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streamfloat/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sfserve: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		cacheDir     = flag.String("cache", "", "result-cache directory (empty = in-memory only)")
+		cacheEntries = flag.Int("cache-entries", 0, "max in-memory cached results (0 = default)")
+		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "queued jobs before 429 backpressure")
+		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job wall-clock cap")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown window on SIGTERM")
+	)
+	flag.Parse()
+
+	store, err := serve.NewStore(*cacheEntries, *cacheDir)
+	if err != nil {
+		return err
+	}
+	handler := serve.NewServer(serve.Config{
+		Store:      store,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+	})
+	srv := &http.Server{Addr: *addr, Handler: handler}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (cache dir %q)", *addr, *cacheDir)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("%s: draining (%s window)", sig, *drainTimeout)
+		handler.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		st := store.Stats()
+		log.Printf("drained; cache: %d mem hits, %d disk hits, %d misses, %d dedups",
+			st.Hits, st.DiskHits, st.Misses, st.Dedups)
+		return nil
+	}
+}

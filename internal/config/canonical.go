@@ -1,0 +1,80 @@
+package config
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// canonicalVersion tags the CanonicalBytes layout. Bump it whenever the
+// encoding below changes meaning (field added, removed, reordered, or a
+// semantic change to an existing field): stale on-disk cache entries then
+// simply stop matching instead of serving wrong results.
+const canonicalVersion = 1
+
+// CanonicalFieldCount is the number of top-level Config fields the canonical
+// encoding covers. A test asserts it against reflect.TypeOf(Config{}).NumField()
+// so that adding a Config field without extending CanonicalBytes fails loudly
+// rather than silently aliasing distinct configurations.
+const CanonicalFieldCount = 25
+
+// CanonicalBytes returns a deterministic, version-tagged binary encoding of
+// every simulation-affecting Config field. Two configurations produce the
+// same bytes iff they run the same simulation, so the encoding is a sound
+// content-address component for result caches (see system.CacheKey).
+//
+// The sanitizer mode is encoded by its *resolved* value (SanitizeEnabled),
+// not the raw tri-state: ModeAuto resolves differently inside and outside
+// `go test`, and probes do not change results only when they stay silent —
+// keying on the resolved value keeps a cache shared across both worlds
+// honest.
+func (c Config) CanonicalBytes() []byte {
+	buf := make([]byte, 0, 256)
+	u := func(v uint64) {
+		buf = binary.BigEndian.AppendUint64(buf, v)
+	}
+	i := func(v int) { u(uint64(int64(v))) }
+	b := func(v bool) {
+		if v {
+			u(1)
+		} else {
+			u(0)
+		}
+	}
+	f := func(v float64) { u(math.Float64bits(v)) }
+	cache := func(p CacheParams) {
+		i(p.SizeBytes)
+		i(p.Ways)
+		i(p.LatCycles)
+		i(p.LineBytes)
+		f(p.BRRIPProb)
+		i(p.MSHREntries)
+	}
+
+	u(canonicalVersion)
+	i(c.MeshWidth)
+	i(c.MeshHeight)
+	i(int(c.Core))
+	i(int(c.Prefetch))
+	i(int(c.Stream))
+	b(c.FloatIndirect)
+	b(c.FloatConfluence)
+	b(c.BulkPrefetch)
+	b(c.StreamGrainCoherence)
+	i(c.LinkBits)
+	i(c.RouterLatency)
+	i(c.LinkLatency)
+	cache(c.L1)
+	cache(c.L2)
+	cache(c.L3)
+	i(c.L3InterleaveBytes)
+	i(c.DRAMLatency)
+	f(c.DRAMBandwidthBpc)
+	i(c.MaxStreamsPerCore)
+	i(c.SEL2BufferBytes)
+	i(c.FloatMinRequests)
+	f(c.FloatMissRatio)
+	i(c.SinkHitThreshold)
+	i(c.ConfluenceBlock)
+	b(c.SanitizeEnabled())
+	return buf
+}

@@ -1,0 +1,85 @@
+package config
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"streamfloat/internal/sanitize"
+)
+
+// TestCanonicalCoversAllFields is the tripwire for cache-key soundness: if a
+// field is added to Config without extending CanonicalBytes (and bumping
+// canonicalVersion), two configs differing only in that field would alias to
+// one cache entry and serve wrong results. The constant forces the author of
+// the new field to visit canonical.go.
+func TestCanonicalCoversAllFields(t *testing.T) {
+	n := reflect.TypeOf(Config{}).NumField()
+	if n != CanonicalFieldCount {
+		t.Fatalf("Config has %d fields but CanonicalFieldCount is %d: "+
+			"extend Config.CanonicalBytes, bump canonicalVersion, then update the constant",
+			n, CanonicalFieldCount)
+	}
+}
+
+func TestCanonicalBytesDeterministic(t *testing.T) {
+	cfg, err := ForSystem("SF", OOO8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cfg.CanonicalBytes(), cfg.CanonicalBytes()) {
+		t.Error("CanonicalBytes not deterministic for one config")
+	}
+}
+
+// TestCanonicalBytesDistinguishes: every simulation-affecting knob must
+// change the encoding.
+func TestCanonicalBytesDistinguishes(t *testing.T) {
+	base, err := ForSystem("SF", OOO8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := base.CanonicalBytes()
+
+	muts := map[string]func(*Config){
+		"MeshWidth":       func(c *Config) { c.MeshWidth++ },
+		"Core":            func(c *Config) { c.Core = IO4 },
+		"FloatIndirect":   func(c *Config) { c.FloatIndirect = !c.FloatIndirect },
+		"L2.SizeBytes":    func(c *Config) { c.L2.SizeBytes *= 2 },
+		"L3.BRRIPProb":    func(c *Config) { c.L3.BRRIPProb /= 2 },
+		"DRAMLatency":     func(c *Config) { c.DRAMLatency++ },
+		"FloatMissRatio":  func(c *Config) { c.FloatMissRatio += 0.01 },
+		"ConfluenceBlock": func(c *Config) { c.ConfluenceBlock++ },
+	}
+	for name, mut := range muts {
+		cfg := base
+		mut(&cfg)
+		if bytes.Equal(ref, cfg.CanonicalBytes()) {
+			t.Errorf("mutating %s did not change CanonicalBytes", name)
+		}
+	}
+}
+
+// TestCanonicalBytesSanitizeResolved: the encoding keys on the *resolved*
+// sanitize value. Inside `go test`, ModeAuto resolves to on, so Auto and On
+// must encode identically here while Off differs.
+func TestCanonicalBytesSanitizeResolved(t *testing.T) {
+	base, err := ForSystem("Base", OOO8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, on, off := base, base, base
+	auto.Sanitize = sanitize.ModeAuto
+	on.Sanitize = sanitize.ModeOn
+	off.Sanitize = sanitize.ModeOff
+
+	if !base.SanitizeEnabled() {
+		t.Skip("auto does not resolve to on in this build; resolution covered elsewhere")
+	}
+	if !bytes.Equal(auto.CanonicalBytes(), on.CanonicalBytes()) {
+		t.Error("auto (resolved on) and explicit on encode differently")
+	}
+	if bytes.Equal(auto.CanonicalBytes(), off.CanonicalBytes()) {
+		t.Error("resolved-on and off encode identically")
+	}
+}

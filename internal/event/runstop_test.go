@@ -1,0 +1,76 @@
+package event
+
+import "testing"
+
+// TestRunStopPolls proves the cancellable run stops within one poll interval
+// of the stop condition turning true: with a check every 8 fired events, at
+// most 8 further events fire after the flag flips.
+func TestRunStopPolls(t *testing.T) {
+	e := New()
+	var fn Func
+	fn = func(Cycle) { e.Schedule(1, fn) } // self-perpetuating event chain
+	e.Schedule(0, fn)
+
+	stopAt := uint64(100)
+	_, stopped := e.RunStop(0, 8, func() bool { return e.Fired() >= stopAt })
+	if !stopped {
+		t.Fatal("RunStop did not report stopped")
+	}
+	if e.Fired() < stopAt || e.Fired() > stopAt+8 {
+		t.Errorf("stopped after %d events, want within [%d, %d]", e.Fired(), stopAt, stopAt+8)
+	}
+}
+
+// TestRunStopPreCancelled: a stop condition that is already true fires zero
+// events.
+func TestRunStopPreCancelled(t *testing.T) {
+	e := New()
+	e.Schedule(0, func(Cycle) { t.Error("event fired under a pre-true stop") })
+	if _, stopped := e.RunStop(0, 8, func() bool { return true }); !stopped {
+		t.Fatal("RunStop did not report stopped")
+	}
+	if e.Fired() != 0 {
+		t.Errorf("fired %d events, want 0", e.Fired())
+	}
+}
+
+// TestRunStopNeverStops: a stop function that stays false must drain the
+// queue exactly like Run, reporting stopped=false.
+func TestRunStopNeverStops(t *testing.T) {
+	mk := func() *Engine {
+		e := New()
+		n := 0
+		var fn Func
+		fn = func(Cycle) {
+			if n++; n < 50 {
+				e.Schedule(3, fn)
+			}
+		}
+		e.Schedule(0, fn)
+		return e
+	}
+
+	ref := mk()
+	want := ref.Run(0)
+
+	e := mk()
+	got, stopped := e.RunStop(0, 4, func() bool { return false })
+	if stopped {
+		t.Fatal("RunStop stopped without cause")
+	}
+	if got != want || e.Fired() != ref.Fired() {
+		t.Errorf("RunStop drained to cycle %d (%d events), Run to %d (%d events)",
+			got, e.Fired(), want, ref.Fired())
+	}
+}
+
+// TestRunStopNilStop delegates to the plain run path.
+func TestRunStopNilStop(t *testing.T) {
+	e := New()
+	ran := false
+	e.Schedule(5, func(Cycle) { ran = true })
+	now, stopped := e.RunStop(0, 8, nil)
+	if stopped || !ran || now != 5 {
+		t.Errorf("nil-stop RunStop: now=%d stopped=%v ran=%v, want 5 false true", now, stopped, ran)
+	}
+}

@@ -33,7 +33,7 @@ func Ablations(opts Options) (*Table, error) {
 			keys = append(keys, runKey{bench: b, system: "SF", core: config.OOO8, mutate: v.mutate})
 		}
 	}
-	res, err := runAll(opts, keys)
+	res, err := runAll(opts.context(), opts, keys)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"streamfloat/internal/config"
+	"streamfloat/internal/system"
+)
+
+// TestFprintWideRow: rows wider than the header used to be truncated by
+// Fprint (and crash on the width table); now every cell must render.
+func TestFprintWideRow(t *testing.T) {
+	tb := &Table{
+		Title:  "wide",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2", "extra", "cells"}},
+	}
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"extra", "cells"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fprint dropped cell %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChartNegativeAndNaN: a negative metric must render as a '-' bar (not
+// panic strings.Repeat), and non-finite values are skipped.
+func TestChartNegativeAndNaN(t *testing.T) {
+	tb := &Table{
+		Title: "c",
+		Metrics: map[string]float64{
+			"up-speedup":   2.0,
+			"down-speedup": -1.0,
+			"nan-speedup":  math.NaN(),
+			"inf-speedup":  math.Inf(1),
+		},
+	}
+	var buf bytes.Buffer
+	tb.Chart(&buf, "speedup", 10) // must not panic
+	out := buf.String()
+	if !strings.Contains(out, "#") {
+		t.Errorf("no positive bar rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "-----") {
+		t.Errorf("negative metric did not render a '-' bar:\n%s", out)
+	}
+	for _, skipped := range []string{"nan", "inf"} {
+		if strings.Contains(out, skipped) {
+			t.Errorf("non-finite metric %q was charted:\n%s", skipped, out)
+		}
+	}
+}
+
+// TestChartAllNegative: bars must scale by |v| even when every value is
+// negative (maxV from signed values would be 0 and divide away).
+func TestChartAllNegative(t *testing.T) {
+	tb := &Table{Metrics: map[string]float64{"x-m": -4.0, "y-m": -2.0}}
+	var buf bytes.Buffer
+	tb.Chart(&buf, "m", 8)
+	if !strings.Contains(buf.String(), "--------") {
+		t.Errorf("largest-magnitude negative bar not full width:\n%s", buf.String())
+	}
+}
+
+// countingCache implements ResultCache, counting and failing computations on
+// demand — the deterministic stand-in for simulations in sweep-cancellation
+// tests.
+type countingCache struct {
+	calls   atomic.Int64
+	failAll bool
+}
+
+var errBoom = errors.New("boom")
+
+func (c *countingCache) Do(ctx context.Context, key string, compute func() (system.Results, error)) (system.Results, error) {
+	c.calls.Add(1)
+	if c.failAll {
+		return system.Results{}, errBoom
+	}
+	return system.Results{Benchmark: key}, nil
+}
+
+// TestRunAllFirstErrorStopsScheduling: with serial parallelism, the first
+// failing run must cancel the sweep before any later run starts — exactly
+// one compute happens, and the reported error is the real failure, not
+// cancellation noise.
+func TestRunAllFirstErrorStopsScheduling(t *testing.T) {
+	cache := &countingCache{failAll: true}
+	opts := Options{Parallelism: 1, Cache: cache}
+	keys := []runKey{
+		{bench: "nn", system: "Base", core: config.OOO8},
+		{bench: "mv", system: "Base", core: config.OOO8},
+		{bench: "conv3d", system: "SF", core: config.OOO8},
+	}
+	_, err := runAll(opts.context(), opts, keys)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want the compute failure", err)
+	}
+	if got := cache.calls.Load(); got != 1 {
+		t.Errorf("%d computations ran after the first failure, want 1", got)
+	}
+}
+
+// TestRunAllCallerCancelled: a pre-cancelled caller context schedules
+// nothing and surfaces context.Canceled.
+func TestRunAllCallerCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cache := &countingCache{}
+	opts := Options{Parallelism: 2, Cache: cache, Context: ctx}
+	keys := []runKey{
+		{bench: "nn", system: "Base", core: config.OOO8},
+		{bench: "mv", system: "SF", core: config.OOO8},
+	}
+	_, err := runAll(opts.context(), opts, keys)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := cache.calls.Load(); got != 0 {
+		t.Errorf("%d computations ran under a cancelled context, want 0", got)
+	}
+}
+
+// TestRunAllCacheServed: a sweep with a cache calls Do once per point and
+// uses whatever the cache returns.
+func TestRunAllCacheServed(t *testing.T) {
+	cache := &countingCache{}
+	opts := Options{Parallelism: 2, Cache: cache}
+	keys := []runKey{
+		{bench: "nn", system: "Base", core: config.OOO8},
+		{bench: "mv", system: "SF", core: config.OOO8},
+	}
+	res, err := runAll(opts.context(), opts, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.calls.Load(); got != int64(len(keys)) {
+		t.Errorf("cache.Do called %d times, want %d", got, len(keys))
+	}
+	for i, r := range res {
+		if r.Benchmark == "" {
+			t.Errorf("result %d did not come from the cache", i)
+		}
+	}
+}

@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -33,6 +35,34 @@ type Options struct {
 	// Sanitize sets every simulation's runtime invariant checking: the zero
 	// value (auto) turns probes on inside test binaries and off elsewhere.
 	Sanitize sanitize.Mode
+	// Context cancels an in-flight sweep: the first simulation error or a
+	// caller cancel stops scheduling new simulations and aborts running ones
+	// at their next event-loop cancellation check. nil means Background.
+	Context context.Context
+	// Cache, when non-nil, memoizes simulation results by their canonical
+	// content-address (system.CacheKey): identical (config, benchmark,
+	// scale) points are served from the cache instead of re-simulating, and
+	// concurrent identical requests share one simulation.
+	Cache ResultCache
+}
+
+// ResultCache memoizes deterministic simulation results by canonical key.
+// Implementations must deduplicate concurrent calls with the same key
+// (singleflight) and may persist results across processes; serve.Store is
+// the canonical implementation.
+type ResultCache interface {
+	// Do returns the cached Results for key, or runs compute (once across
+	// all concurrent callers of the key), caches its result and returns it.
+	// ctx bounds this caller's wait; compute errors are not cached.
+	Do(ctx context.Context, key string, compute func() (system.Results, error)) (system.Results, error)
+}
+
+// context resolves the sweep context, defaulting to Background.
+func (o Options) context() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // parallelism resolves the concurrency bound, clamping zero and negative
@@ -76,16 +106,23 @@ func (t *Table) metric(name string, v float64) {
 	t.Metrics[name] = v
 }
 
-// Fprint renders the table with aligned columns.
+// Fprint renders the table with aligned columns. Rows wider than the header
+// keep their extra cells (rendered in unpadded columns), matching WriteCSV.
 func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "== %s ==\n", t.Title)
-	widths := make([]int, len(t.Header))
+	cols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -93,9 +130,7 @@ func (t *Table) Fprint(w io.Writer) {
 	line := func(cells []string) {
 		var sb strings.Builder
 		for i, c := range cells {
-			if i < len(widths) {
-				fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
-			}
+			fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
 		}
 		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
 	}
@@ -118,11 +153,18 @@ type runKey struct {
 }
 
 // runAll executes the given runs in parallel and returns results in input
-// order.
-func runAll(opts Options, keys []runKey) ([]system.Results, error) {
+// order. The sweep is cancellable: the first simulation error (or a cancel
+// of ctx) cancels every other simulation — queued runs never start, and
+// in-flight ones abort at their next event-loop cancellation check — so a
+// failing sweep returns promptly instead of burning the rest of the fan-out
+// to completion. With opts.Cache set, each point is served from the result
+// cache by canonical key (concurrent identical points share one simulation).
+func runAll(ctx context.Context, opts Options, keys []runKey) ([]system.Results, error) {
 	par := opts.parallelism()
 	results := make([]system.Results, len(keys))
 	errs := make([]error, len(keys))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	for i, k := range keys {
@@ -131,25 +173,56 @@ func runAll(opts Options, keys []runKey) ([]system.Results, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			cfg, err := config.ForSystem(k.system, k.core)
 			if err != nil {
 				errs[i] = err
+				cancel()
 				return
 			}
 			cfg.Sanitize = opts.Sanitize
 			if k.mutate != nil {
 				k.mutate(&cfg)
 			}
-			results[i], errs[i] = system.RunBenchmark(cfg, k.bench, opts.scale())
+			run := func() (system.Results, error) {
+				return system.RunBenchmark(ctx, cfg, k.bench, opts.scale())
+			}
+			if opts.Cache != nil {
+				results[i], errs[i] = opts.Cache.Do(ctx, system.CacheKey(cfg, k.bench, opts.scale()), run)
+			} else {
+				results[i], errs[i] = run()
+			}
+			if errs[i] != nil {
+				cancel()
+			}
 		}(i, k)
 	}
 	wg.Wait()
+	return results, sweepError(keys, errs)
+}
+
+// sweepError reduces per-run errors to the one worth reporting: the first
+// real failure. Pure cancellation errors (runs killed because another run
+// already failed, or because the caller cancelled) only surface when no
+// underlying failure exists.
+func sweepError(keys []runKey, errs []error) error {
+	var ctxErr error
 	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("%s/%s/%v: %w", keys[i].bench, keys[i].system, keys[i].core, err)
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = fmt.Errorf("%s/%s/%v: %w", keys[i].bench, keys[i].system, keys[i].core, err)
+			}
+			continue
+		}
+		return fmt.Errorf("%s/%s/%v: %w", keys[i].bench, keys[i].system, keys[i].core, err)
 	}
-	return results, nil
+	return ctxErr
 }
 
 func geomean(vs []float64) float64 {
@@ -187,7 +260,7 @@ func Fig02(opts Options) (*Table, error) {
 	for i, b := range benches {
 		keys[i] = runKey{bench: b, system: "Base", core: config.OOO8}
 	}
-	res, err := runAll(opts, keys)
+	res, err := runAll(opts.context(), opts, keys)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +325,7 @@ func Fig13(opts Options) (*Table, error) {
 			}
 		}
 	}
-	res, err := runAll(opts, keys)
+	res, err := runAll(opts.context(), opts, keys)
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +374,7 @@ func Fig14(opts Options) (*Table, error) {
 	for i, b := range benches {
 		keys[i] = runKey{bench: b, system: "SF", core: config.OOO8}
 	}
-	res, err := runAll(opts, keys)
+	res, err := runAll(opts.context(), opts, keys)
 	if err != nil {
 		return nil, err
 	}
@@ -361,7 +434,7 @@ func Fig15(opts Options) (*Table, error) {
 			keys = append(keys, runKey{bench: b, system: v.system, core: config.OOO8, mutate: v.mutate})
 		}
 	}
-	res, err := runAll(opts, keys)
+	res, err := runAll(opts.context(), opts, keys)
 	if err != nil {
 		return nil, err
 	}
@@ -413,7 +486,7 @@ func Fig16(opts Options) (*Table, error) {
 			}
 		}
 	}
-	res, err := runAll(opts, keys)
+	res, err := runAll(opts.context(), opts, keys)
 	if err != nil {
 		return nil, err
 	}
@@ -457,7 +530,7 @@ func Fig17(opts Options) (*Table, error) {
 			}
 		}
 	}
-	res, err := runAll(opts, keys)
+	res, err := runAll(opts.context(), opts, keys)
 	if err != nil {
 		return nil, err
 	}
@@ -510,7 +583,7 @@ func Fig18(opts Options) (*Table, error) {
 			}
 		}
 	}
-	res, err := runAll(opts, keys)
+	res, err := runAll(opts.context(), opts, keys)
 	if err != nil {
 		return nil, err
 	}
@@ -559,7 +632,7 @@ func Fig19(opts Options) (*Table, error) {
 			}
 		}
 	}
-	res, err := runAll(opts, keys)
+	res, err := runAll(opts.context(), opts, keys)
 	if err != nil {
 		return nil, err
 	}

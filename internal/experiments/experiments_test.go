@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -166,11 +167,11 @@ func TestFig19Tiny(t *testing.T) {
 }
 
 func TestRunAllPropagatesErrors(t *testing.T) {
-	_, err := runAll(tinyOpts(), []runKey{{bench: "missing", system: "Base", core: config.OOO8}})
+	_, err := runAll(context.Background(), tinyOpts(), []runKey{{bench: "missing", system: "Base", core: config.OOO8}})
 	if err == nil {
 		t.Error("unknown benchmark not reported")
 	}
-	_, err = runAll(tinyOpts(), []runKey{{bench: "nn", system: "wat", core: config.OOO8}})
+	_, err = runAll(context.Background(), tinyOpts(), []runKey{{bench: "nn", system: "wat", core: config.OOO8}})
 	if err == nil {
 		t.Error("unknown system not reported")
 	}

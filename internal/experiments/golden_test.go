@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -121,7 +122,7 @@ func TestDeterministicStats(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				res, err := system.RunBenchmark(cfg, bench, goldenOpts().scale())
+				res, err := system.RunBenchmark(context.Background(), cfg, bench, goldenOpts().scale())
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -161,11 +162,11 @@ func TestSweepParallelismInvariant(t *testing.T) {
 	serial.Parallelism = 1
 	wide := goldenOpts()
 	wide.Parallelism = 4
-	a, err := runAll(serial, keys)
+	a, err := runAll(context.Background(), serial, keys)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := runAll(wide, keys)
+	b, err := runAll(context.Background(), wide, keys)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -33,6 +35,8 @@ func LatencyBreakdown(opts Options) (*Table, error) {
 	benches := opts.benchmarks()
 	attrs := make([]trace.TileAttribution, len(systems)*len(benches))
 	errs := make([]error, len(attrs))
+	ctx, cancel := context.WithCancel(opts.context())
+	defer cancel()
 	sem := make(chan struct{}, opts.parallelism())
 	var wg sync.WaitGroup
 	for si, sys := range systems {
@@ -42,9 +46,14 @@ func LatencyBreakdown(opts Options) (*Table, error) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
 				_, tr, err := TracedRun(opts, sys, config.OOO8, b)
 				if err != nil {
 					errs[i] = fmt.Errorf("%s/%s: %w", b, sys, err)
+					cancel()
 					return
 				}
 				attrs[i] = tr.Attribution()
@@ -52,10 +61,17 @@ func LatencyBreakdown(opts Options) (*Table, error) {
 		}
 	}
 	wg.Wait()
+	var firstErr error
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			continue
 		}
+		if firstErr == nil || errors.Is(firstErr, context.Canceled) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 
 	t := &Table{

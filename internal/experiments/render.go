@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -27,7 +28,9 @@ func (t *Table) WriteCSV(w io.Writer) error {
 // Chart renders the table's Metrics whose names share the given suffix as a
 // horizontal ASCII bar chart — a terminal rendition of the paper's bar
 // figures. Bars are sorted by name; width is the maximum bar length in
-// characters.
+// characters. Bars scale by absolute value: negative metrics render as an
+// explicit '-' bar of the same magnitude, and non-finite values (NaN, ±Inf)
+// are skipped rather than coerced.
 func (t *Table) Chart(w io.Writer, suffix string, width int) {
 	if width <= 0 {
 		width = 40
@@ -42,11 +45,14 @@ func (t *Table) Chart(w io.Writer, suffix string, width int) {
 		if !strings.HasSuffix(name, suffix) {
 			continue
 		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
 		label := strings.TrimSuffix(name, suffix)
 		label = strings.TrimSuffix(label, "-")
 		bars = append(bars, bar{label, v})
-		if v > maxV {
-			maxV = v
+		if a := math.Abs(v); a > maxV {
+			maxV = a
 		}
 	}
 	if len(bars) == 0 || maxV == 0 {
@@ -61,10 +67,17 @@ func (t *Table) Chart(w io.Writer, suffix string, width int) {
 	}
 	fmt.Fprintf(w, "%s (relative)\n", strings.TrimPrefix(suffix, "-"))
 	for _, b := range bars {
-		n := int(b.v / maxV * float64(width))
-		if n < 1 && b.v > 0 {
+		n := int(math.Abs(b.v) / maxV * float64(width))
+		if n < 1 && b.v != 0 {
 			n = 1
 		}
-		fmt.Fprintf(w, "  %-*s %6.2f |%s\n", labelW, b.label, b.v, strings.Repeat("#", n))
+		if n > width {
+			n = width
+		}
+		ch := "#"
+		if b.v < 0 {
+			ch = "-"
+		}
+		fmt.Fprintf(w, "  %-*s %6.2f |%s\n", labelW, b.label, b.v, strings.Repeat(ch, n))
 	}
 }

@@ -31,12 +31,14 @@ func TestFprintAlignment(t *testing.T) {
 			t.Errorf("line %q has trailing spaces", l)
 		}
 	}
-	// Rows wider than the header drop the extra cells rather than panicking.
+	// Rows wider than the header keep every cell, matching WriteCSV.
 	wide := &Table{Header: []string{"a"}, Rows: [][]string{{"1", "2", "3"}}}
 	var wb bytes.Buffer
 	wide.Fprint(&wb)
-	if strings.Contains(wb.String(), "2") {
-		t.Error("cells beyond the header leaked into output")
+	for _, cell := range []string{"2", "3"} {
+		if !strings.Contains(wb.String(), cell) {
+			t.Errorf("cell %q beyond the header was dropped", cell)
+		}
 	}
 }
 

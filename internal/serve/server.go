@@ -1,0 +1,413 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamfloat/internal/config"
+	"streamfloat/internal/experiments"
+	"streamfloat/internal/sanitize"
+	"streamfloat/internal/system"
+	"streamfloat/internal/workload"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store is the result cache backing /run and /figure (required).
+	Store *Store
+	// Workers bounds concurrently executing jobs (<= 0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; beyond it, new jobs are
+	// rejected with 429 (backpressure). <= 0 picks 64.
+	QueueDepth int
+	// JobTimeout caps one job's wall-clock time (<= 0 picks 10 minutes).
+	JobTimeout time.Duration
+	// Runner executes one simulation. nil picks system.RunBenchmark; tests
+	// substitute stubs to exercise queueing and cancellation deterministically.
+	Runner func(ctx context.Context, cfg config.Config, bench string, scale float64) (system.Results, error)
+}
+
+// Server is the sfserve HTTP handler: a bounded worker pool over the result
+// cache.
+//
+//	POST /run          JSON JobRequest -> JSON JobResponse (system.Results)
+//	GET  /figure/{id}  regenerate one figure (query: scale, bench, format)
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      Prometheus text: queue/cache/latency counters
+//
+// Every job runs under the request context plus the per-job timeout, so a
+// client disconnect or deadline cancels the simulation mid-flight (the event
+// loop polls cancellation every few thousand events).
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan struct{} // queued-or-running tickets; full = 429
+	work  chan struct{} // running tickets
+
+	queued   atomic.Int64
+	running  atomic.Int64
+	done     atomic.Uint64
+	rejected atomic.Uint64
+	failed   atomic.Uint64
+	draining atomic.Bool
+
+	lat latencyWindow
+}
+
+// NewServer wires the handler. It panics if cfg.Store is nil.
+func NewServer(cfg Config) *Server {
+	if cfg.Store == nil {
+		panic("serve: Config.Store is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 10 * time.Minute
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = system.RunBenchmark
+	}
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		queue: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		work:  make(chan struct{}, cfg.Workers),
+	}
+	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/figure/", s.handleFigure)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain flips the server into draining mode: /healthz turns 503 (so load
+// balancers stop routing here) and new jobs are rejected, while in-flight
+// jobs finish. cmd/sfserve calls it on SIGTERM before http.Server.Shutdown.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// JobRequest is the POST /run body. Exactly one simulation point: a named
+// §VI system on a core kind, one benchmark, one dataset scale.
+type JobRequest struct {
+	System    string  `json:"system"`               // Base, Stride, Bingo, SS, SF, SF-Aff, SF-Ind (default Base)
+	Core      string  `json:"core"`                 // IO4, OOO4, OOO8 (default OOO8)
+	Benchmark string  `json:"benchmark"`            // required; see workload.Names
+	Scale     float64 `json:"scale"`                // dataset scale (default 0.25)
+	Sanitize  string  `json:"sanitize,omitempty"`   // auto, on, off (default auto)
+	TimeoutMS int64   `json:"timeout_ms,omitempty"` // per-job cap below the server default
+}
+
+// JobResponse is the POST /run reply.
+type JobResponse struct {
+	Key       string         `json:"key"`        // canonical cache key of the point
+	Cached    bool           `json:"cached"`     // served without running a simulation
+	ElapsedMS float64        `json:"elapsed_ms"` // wall-clock job time
+	Results   system.Results `json:"results"`
+}
+
+// job resolves a JobRequest into a runnable configuration.
+func (r JobRequest) resolve() (config.Config, string, float64, error) {
+	sys := r.System
+	if sys == "" {
+		sys = "Base"
+	}
+	coreName := r.Core
+	if coreName == "" {
+		coreName = "OOO8"
+	}
+	var core config.CoreKind
+	switch coreName {
+	case "IO4":
+		core = config.IO4
+	case "OOO4":
+		core = config.OOO4
+	case "OOO8":
+		core = config.OOO8
+	default:
+		return config.Config{}, "", 0, fmt.Errorf("unknown core %q (valid: IO4, OOO4, OOO8)", coreName)
+	}
+	cfg, err := config.ForSystem(sys, core)
+	if err != nil {
+		return config.Config{}, "", 0, err
+	}
+	if r.Sanitize != "" {
+		mode, err := sanitize.ParseMode(r.Sanitize)
+		if err != nil {
+			return config.Config{}, "", 0, err
+		}
+		cfg.Sanitize = mode
+	}
+	if r.Benchmark == "" {
+		return config.Config{}, "", 0, fmt.Errorf("benchmark is required (valid: %s)", strings.Join(workload.Names(), ", "))
+	}
+	if !workload.Valid(r.Benchmark) {
+		return config.Config{}, "", 0, fmt.Errorf("unknown benchmark %q (valid: %s)", r.Benchmark, strings.Join(workload.Names(), ", "))
+	}
+	scale := r.Scale
+	if scale <= 0 {
+		scale = 0.25
+	}
+	return cfg, r.Benchmark, scale, nil
+}
+
+// acquire claims a queue ticket (backpressure) and then a worker slot.
+// It reports HTTP errors itself and returns false if the job must not run.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) bool {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		s.rejected.Add(1)
+		return false
+	}
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		s.rejected.Add(1)
+		return false
+	}
+	s.queued.Add(1)
+	select {
+	case s.work <- struct{}{}:
+		s.queued.Add(-1)
+		s.running.Add(1)
+		return true
+	case <-r.Context().Done():
+		s.queued.Add(-1)
+		<-s.queue
+		s.failed.Add(1)
+		// The client is gone; nothing useful to write, but record a status.
+		http.Error(w, "client cancelled while queued", http.StatusServiceUnavailable)
+		return false
+	}
+}
+
+// release returns the tickets claimed by acquire.
+func (s *Server) release() {
+	s.running.Add(-1)
+	<-s.work
+	<-s.queue
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg, bench, scale, err := req.resolve()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !s.acquire(w, r) {
+		return
+	}
+	defer s.release()
+
+	timeout := s.cfg.JobTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	key := system.CacheKey(cfg, bench, scale)
+	start := time.Now()
+	computed := false
+	res, err := s.cfg.Store.Do(ctx, key, func() (system.Results, error) {
+		computed = true
+		return s.cfg.Runner(ctx, cfg, bench, scale)
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		s.failed.Add(1)
+		status := http.StatusInternalServerError
+		if isCtxErr(err) {
+			// 504 for our timeout; the client-disconnect case never reads it.
+			status = http.StatusGatewayTimeout
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	s.done.Add(1)
+	s.lat.record(elapsed.Seconds())
+	writeJSON(w, JobResponse{
+		Key:       key,
+		Cached:    !computed,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+		Results:   res,
+	})
+}
+
+// handleFigure regenerates one figure table through the shared result cache:
+// GET /figure/13?scale=0.05&bench=nn,conv3d&format=csv|text|json.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/figure/")
+	fn, ok := experiments.ByName(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown figure %q (want 2, 13-19, area, ablations, latency)", id), http.StatusNotFound)
+		return
+	}
+	opts := experiments.Options{Scale: 0.25, Cache: s.cfg.Store, Sanitize: sanitize.ModeOff}
+	if v := r.URL.Query().Get("scale"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			http.Error(w, "bad scale", http.StatusBadRequest)
+			return
+		}
+		opts.Scale = f
+	}
+	if v := r.URL.Query().Get("bench"); v != "" {
+		names, err := workload.ParseNames(v)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		opts.Benchmarks = names
+	}
+	if !s.acquire(w, r) {
+		return
+	}
+	defer s.release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
+	defer cancel()
+	opts.Context = ctx
+
+	start := time.Now()
+	tbl, err := fn(opts)
+	if err != nil {
+		s.failed.Add(1)
+		status := http.StatusInternalServerError
+		if isCtxErr(err) {
+			status = http.StatusGatewayTimeout
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	s.done.Add(1)
+	s.lat.record(time.Since(start).Seconds())
+	switch r.URL.Query().Get("format") {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		tbl.Fprint(w)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		if err := tbl.WriteCSV(w); err != nil {
+			return // headers already sent; nothing recoverable
+		}
+	case "json":
+		writeJSON(w, tbl)
+	default:
+		http.Error(w, "unknown format (want text, csv, json)", http.StatusBadRequest)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics emits Prometheus text exposition (also human-greppable).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.cfg.Store.Stats()
+	p50, p99 := s.lat.percentiles()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	gauge := func(name string, v int64, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name string, v uint64, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("sfserve_jobs_queued", s.queued.Load(), "jobs waiting for a worker")
+	gauge("sfserve_jobs_running", s.running.Load(), "jobs currently simulating")
+	counter("sfserve_jobs_done", s.done.Load(), "jobs completed successfully")
+	counter("sfserve_jobs_failed", s.failed.Load(), "jobs failed or cancelled")
+	counter("sfserve_jobs_rejected", s.rejected.Load(), "jobs rejected by backpressure or drain")
+	counter("sfserve_cache_hits", cs.Hits, "results served from the in-memory cache")
+	counter("sfserve_cache_disk_hits", cs.DiskHits, "results served from the on-disk cache")
+	counter("sfserve_cache_misses", cs.Misses, "results computed by simulation")
+	counter("sfserve_cache_dedups", cs.Dedups, "requests that shared another caller's simulation")
+	counter("sfserve_cache_disk_errors", cs.DiskErrs, "failed best-effort disk cache operations")
+	gauge("sfserve_cache_entries", int64(cs.Entries), "in-memory cache entries")
+	fmt.Fprintf(&b, "# HELP sfserve_job_latency_seconds job wall-clock latency quantiles over the last %d jobs\n", latWindow)
+	fmt.Fprintf(&b, "# TYPE sfserve_job_latency_seconds summary\n")
+	fmt.Fprintf(&b, "sfserve_job_latency_seconds{quantile=\"0.5\"} %g\n", p50)
+	fmt.Fprintf(&b, "sfserve_job_latency_seconds{quantile=\"0.99\"} %g\n", p99)
+	w.Write([]byte(b.String()))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// latWindow is how many recent job latencies feed the /metrics quantiles.
+const latWindow = 512
+
+// latencyWindow keeps a bounded ring of recent job latencies for the p50/p99
+// gauges. Exact percentiles over a sliding window are plenty at service
+// request rates; no streaming sketch needed.
+type latencyWindow struct {
+	mu   sync.Mutex
+	ring [latWindow]float64
+	n    int // total recorded (ring holds min(n, latWindow))
+}
+
+func (l *latencyWindow) record(seconds float64) {
+	l.mu.Lock()
+	l.ring[l.n%latWindow] = seconds
+	l.n++
+	l.mu.Unlock()
+}
+
+func (l *latencyWindow) percentiles() (p50, p99 float64) {
+	l.mu.Lock()
+	n := l.n
+	if n > latWindow {
+		n = latWindow
+	}
+	vals := make([]float64, n)
+	copy(vals, l.ring[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Float64s(vals)
+	at := func(q float64) float64 {
+		i := int(q * float64(n-1))
+		return vals[i]
+	}
+	return at(0.5), at(0.99)
+}

@@ -1,0 +1,281 @@
+// Package serve is the job layer over the sweep machinery: a
+// content-addressed result cache (Store) and an HTTP simulation service
+// (Server, mounted by cmd/sfserve). Because every simulation is
+// deterministic (see the determinism suite), Results are perfectly
+// memoizable by their canonical key — hash of (encoded config, benchmark,
+// scale, resolved sanitize mode), computed by system.CacheKey — so repeated
+// figure regenerations and concurrent identical jobs cost one simulation.
+package serve
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"streamfloat/internal/system"
+)
+
+// DefaultMaxEntries bounds the in-memory cache when NewStore is given a
+// non-positive limit. A Results is a few kB, so the default stays small.
+const DefaultMaxEntries = 4096
+
+// Store is a content-addressed simulation-result cache: an in-memory LRU in
+// front of an optional on-disk JSON store, with singleflight deduplication so
+// concurrent requests for the same key share one computation. Keys are
+// opaque hex strings (system.CacheKey); invalidation is by key change only —
+// any config/benchmark/scale/encoding-version difference produces a
+// different key, and stale entries are simply never looked up again.
+//
+// Store implements experiments.ResultCache. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir        string // "" = memory only
+	maxEntries int
+
+	mu       sync.Mutex
+	entries  map[string]*list.Element // key -> element holding *entry
+	lru      *list.List               // front = most recently used
+	inflight map[string]*call
+
+	hits     atomic.Uint64 // served from memory
+	diskHits atomic.Uint64 // served from the on-disk store
+	misses   atomic.Uint64 // computed
+	dedups   atomic.Uint64 // waited on another caller's computation
+	diskErrs atomic.Uint64 // best-effort disk writes/reads that failed
+}
+
+type entry struct {
+	key string
+	res system.Results
+}
+
+// call is one in-flight computation; followers wait on done.
+type call struct {
+	done chan struct{}
+	res  system.Results
+	err  error
+}
+
+// NewStore creates a Store holding at most maxEntries results in memory
+// (<= 0 picks DefaultMaxEntries). A non-empty dir enables the on-disk layer:
+// one <key>.json file per result, shared across processes (sfexp -cache and
+// sfserve point at the same directory). The directory is created if missing.
+func NewStore(maxEntries int, dir string) (*Store, error) {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: cache dir: %w", err)
+		}
+	}
+	return &Store{
+		dir:        dir,
+		maxEntries: maxEntries,
+		entries:    map[string]*list.Element{},
+		lru:        list.New(),
+		inflight:   map[string]*call{},
+	}, nil
+}
+
+// Get returns the cached Results for key from memory or disk, without
+// computing anything.
+func (s *Store) Get(key string) (system.Results, bool) {
+	s.mu.Lock()
+	res, ok := s.memGetLocked(key)
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+		return res, true
+	}
+	if res, ok := s.diskGet(key); ok {
+		s.diskHits.Add(1)
+		s.put(key, res)
+		return res, true
+	}
+	return system.Results{}, false
+}
+
+// Do returns the cached Results for key, or runs compute — once across all
+// concurrent callers of the key — caches its result, and returns it.
+// Compute errors are not cached. If the caller's ctx ends while waiting on
+// another caller's computation, Do returns ctx's error; if the computing
+// leader fails with a cancellation error but this caller's ctx is still
+// live, the caller retries (takes over as leader) instead of inheriting the
+// leader's cancellation.
+func (s *Store) Do(ctx context.Context, key string, compute func() (system.Results, error)) (system.Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		s.mu.Lock()
+		if res, ok := s.memGetLocked(key); ok {
+			s.mu.Unlock()
+			s.hits.Add(1)
+			return res, nil
+		}
+		if c, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			s.dedups.Add(1)
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return system.Results{}, ctx.Err()
+			}
+			if c.err == nil {
+				return c.res, nil
+			}
+			if isCtxErr(c.err) && ctx.Err() == nil {
+				continue // leader died of its own cancellation; take over
+			}
+			return system.Results{}, c.err
+		}
+		c := &call{done: make(chan struct{})}
+		s.inflight[key] = c
+		s.mu.Unlock()
+
+		if res, ok := s.diskGet(key); ok {
+			s.diskHits.Add(1)
+			c.res = res
+		} else {
+			c.res, c.err = compute()
+			if c.err == nil {
+				s.misses.Add(1)
+				s.diskPut(key, c.res)
+			}
+		}
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if c.err == nil {
+			s.memPutLocked(key, c.res)
+		}
+		s.mu.Unlock()
+		close(c.done)
+		return c.res, c.err
+	}
+}
+
+// isCtxErr reports whether err is (or wraps) a context cancellation or
+// deadline error — the leader's failure modes that a still-live follower
+// should not inherit.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Stats reports the cache counters accumulated so far.
+type StoreStats struct {
+	Hits     uint64 `json:"hits"`      // served from memory
+	DiskHits uint64 `json:"disk_hits"` // served from the on-disk store
+	Misses   uint64 `json:"misses"`    // computed
+	Dedups   uint64 `json:"dedups"`    // shared another caller's computation
+	DiskErrs uint64 `json:"disk_errs"` // failed best-effort disk operations
+	Entries  int    `json:"entries"`   // current in-memory entry count
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	n := s.lru.Len()
+	s.mu.Unlock()
+	return StoreStats{
+		Hits:     s.hits.Load(),
+		DiskHits: s.diskHits.Load(),
+		Misses:   s.misses.Load(),
+		Dedups:   s.dedups.Load(),
+		DiskErrs: s.diskErrs.Load(),
+		Entries:  n,
+	}
+}
+
+// put inserts without going through Do (used by Get's disk-promotion path).
+func (s *Store) put(key string, res system.Results) {
+	s.mu.Lock()
+	s.memPutLocked(key, res)
+	s.mu.Unlock()
+}
+
+func (s *Store) memGetLocked(key string) (system.Results, bool) {
+	el, ok := s.entries[key]
+	if !ok {
+		return system.Results{}, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*entry).res, true
+}
+
+func (s *Store) memPutLocked(key string, res system.Results) {
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*entry).res = res
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.lru.PushFront(&entry{key: key, res: res})
+	for s.lru.Len() > s.maxEntries {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.entries, back.Value.(*entry).key)
+	}
+}
+
+// diskPath maps a key to its JSON file. Keys are hex digests, so they are
+// safe as file names.
+func (s *Store) diskPath(key string) string { return filepath.Join(s.dir, key+".json") }
+
+// diskGet loads a result from the on-disk layer. Unreadable or corrupt
+// files count as misses (and bump the disk-error counter) — the entry is
+// recomputed and rewritten.
+func (s *Store) diskGet(key string) (system.Results, bool) {
+	if s.dir == "" {
+		return system.Results{}, false
+	}
+	data, err := os.ReadFile(s.diskPath(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.diskErrs.Add(1)
+		}
+		return system.Results{}, false
+	}
+	var res system.Results
+	if err := json.Unmarshal(data, &res); err != nil {
+		s.diskErrs.Add(1)
+		return system.Results{}, false
+	}
+	return res, true
+}
+
+// diskPut persists a result, best-effort: a full disk or unwritable
+// directory degrades the store to memory-only for that entry rather than
+// failing the simulation that produced it. Writes go through a temp file +
+// rename so concurrent processes never observe a partial JSON.
+func (s *Store) diskPut(key string, res system.Results) {
+	if s.dir == "" {
+		return
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		s.diskErrs.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
+	if err != nil {
+		s.diskErrs.Add(1)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		s.diskErrs.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.diskPath(key)); err != nil {
+		os.Remove(tmp.Name())
+		s.diskErrs.Add(1)
+	}
+}

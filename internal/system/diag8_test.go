@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -16,7 +17,7 @@ func TestDiag8x8(t *testing.T) {
 		for _, sys := range []string{"Base", "Bingo", "SS", "SF"} {
 			for _, core := range []config.CoreKind{config.IO4, config.OOO8} {
 				cfg, _ := config.ForSystem(sys, core)
-				res, err := RunBenchmark(cfg, bench, 1.0)
+				res, err := RunBenchmark(context.Background(), cfg, bench, 1.0)
 				if err != nil {
 					t.Errorf("%s/%s/%v: %v", bench, sys, core, err)
 					continue

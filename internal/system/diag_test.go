@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 	"os"
 	score "streamfloat/internal/core"
@@ -14,7 +15,7 @@ func TestDiag(t *testing.T) {
 	for _, bench := range []string{"nn", "mv", "pathfinder", "conv3d", "bfs"} {
 		for _, sys := range []string{"Base", "Bingo", "SS", "SF"} {
 			cfg := testConfig(sys)
-			res, err := RunBenchmark(cfg, bench, 0.2)
+			res, err := RunBenchmark(context.Background(), cfg, bench, 0.2)
 			if err != nil {
 				t.Fatal(err)
 			}

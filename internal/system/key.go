@@ -1,0 +1,29 @@
+package system
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"streamfloat/internal/config"
+)
+
+// CacheKey returns the canonical content-address of one deterministic
+// simulation: a hex SHA-256 over the configuration's canonical encoding, the
+// benchmark name, and the dataset scale. Every run with the same key produces
+// bit-identical Results (PR 1's determinism suite), so the key is safe to use
+// for memoization across processes and machines; any configuration change —
+// including the canonical-encoding version — changes the key, which is the
+// cache's only invalidation mechanism.
+func CacheKey(cfg config.Config, bench string, scale float64) string {
+	h := sha256.New()
+	h.Write(cfg.CanonicalBytes())
+	var lb [8]byte
+	binary.BigEndian.PutUint64(lb[:], uint64(len(bench)))
+	h.Write(lb[:])
+	h.Write([]byte(bench))
+	binary.BigEndian.PutUint64(lb[:], math.Float64bits(scale))
+	h.Write(lb[:])
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -5,6 +5,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 
 	score "streamfloat/internal/core"
@@ -176,6 +177,18 @@ func (m *Machine) barrierLatency() event.Cycle {
 // exceeding it, or an event-queue drain before completion, is reported as
 // an error (deadlock/livelock detection).
 func (m *Machine) Run(maxCycles event.Cycle) (Results, error) {
+	return m.RunContext(context.Background(), maxCycles)
+}
+
+// RunContext is Run with cancellation: the event loop polls ctx every
+// event.DefaultStopCheckEvents fired events and abandons the simulation —
+// returning ctx's error — as soon as it is cancelled or times out. A
+// background (never-cancelled) context takes the exact Run code path, so
+// cancellable and plain runs schedule identically.
+func (m *Machine) RunContext(ctx context.Context, maxCycles event.Cycle) (Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if maxCycles == 0 {
 		maxCycles = 4_000_000_000
 	}
@@ -205,7 +218,21 @@ func (m *Machine) Run(maxCycles event.Cycle) (Results, error) {
 	} else {
 		runPhase(0)
 	}
-	m.Eng.Run(maxCycles)
+	if done := ctx.Done(); done == nil {
+		m.Eng.Run(maxCycles)
+	} else {
+		stop := func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		}
+		if _, stopped := m.Eng.RunStop(maxCycles, event.DefaultStopCheckEvents, stop); stopped {
+			return Results{}, fmt.Errorf("system: %s cancelled at cycle %d: %w", m.bench, m.Eng.Now(), ctx.Err())
+		}
+	}
 	if !finished {
 		if m.Eng.Pending() == 0 {
 			return Results{}, fmt.Errorf("system: %s deadlocked at cycle %d (event queue drained mid-phase)",
@@ -231,13 +258,15 @@ func (m *Machine) Run(maxCycles event.Cycle) (Results, error) {
 	}, nil
 }
 
-// RunBenchmark is the one-call helper: build and run.
-func RunBenchmark(cfg config.Config, bench string, scale float64) (Results, error) {
+// RunBenchmark is the one-call helper: build and run. ctx cancels the
+// simulation mid-flight (see RunContext); pass context.Background() for an
+// unconditional run.
+func RunBenchmark(ctx context.Context, cfg config.Config, bench string, scale float64) (Results, error) {
 	m, err := Build(cfg, bench, scale)
 	if err != nil {
 		return Results{}, err
 	}
-	return m.Run(0)
+	return m.RunContext(ctx, 0)
 }
 
 // RunBenchmarkTraced builds and runs one benchmark with tracing on,

@@ -2,6 +2,7 @@ package system
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestAllBenchmarksAllSystems(t *testing.T) {
 			sys, bench := sys, bench
 			t.Run(sys+"/"+bench, func(t *testing.T) {
 				cfg := testConfig(sys)
-				res, err := RunBenchmark(cfg, bench, testScale)
+				res, err := RunBenchmark(context.Background(), cfg, bench, testScale)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -55,7 +56,7 @@ func TestCoreKinds(t *testing.T) {
 	for _, core := range []config.CoreKind{config.IO4, config.OOO4, config.OOO8} {
 		cfg, _ := config.ForSystem("Base", core)
 		cfg.MeshWidth, cfg.MeshHeight = 4, 4
-		res, err := RunBenchmark(cfg, "mv", testScale)
+		res, err := RunBenchmark(context.Background(), cfg, "mv", testScale)
 		if err != nil {
 			t.Fatalf("%v: %v", core, err)
 		}
@@ -76,11 +77,11 @@ func TestSFBeatsBaseOnStreaming(t *testing.T) {
 		cfg.Core = config.IO4
 		return cfg
 	}
-	base, err := RunBenchmark(mk("Base"), "conv3d", testScale)
+	base, err := RunBenchmark(context.Background(), mk("Base"), "conv3d", testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sf, err := RunBenchmark(mk("SF"), "conv3d", testScale)
+	sf, err := RunBenchmark(context.Background(), mk("SF"), "conv3d", testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +94,11 @@ func TestSFBeatsBaseOnStreaming(t *testing.T) {
 // TestSFReducesTraffic checks the paper's central traffic claim: SF moves
 // fewer flit-hops than Base on streaming workloads.
 func TestSFReducesTraffic(t *testing.T) {
-	base, err := RunBenchmark(testConfig("Base"), "nn", testScale)
+	base, err := RunBenchmark(context.Background(), testConfig("Base"), "nn", testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sf, err := RunBenchmark(testConfig("SF"), "nn", testScale)
+	sf, err := RunBenchmark(context.Background(), testConfig("SF"), "nn", testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +110,11 @@ func TestSFReducesTraffic(t *testing.T) {
 
 // TestDeterminism: identical configurations must produce identical results.
 func TestDeterminism(t *testing.T) {
-	a, err := RunBenchmark(testConfig("SF"), "bfs", testScale)
+	a, err := RunBenchmark(context.Background(), testConfig("SF"), "bfs", testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunBenchmark(testConfig("SF"), "bfs", testScale)
+	b, err := RunBenchmark(context.Background(), testConfig("SF"), "bfs", testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestDeterminism(t *testing.T) {
 // TestFloatingHappens: SF must actually float streams and issue SE_L3
 // requests on a streaming workload.
 func TestFloatingHappens(t *testing.T) {
-	res, err := RunBenchmark(testConfig("SF"), "mv", testScale)
+	res, err := RunBenchmark(context.Background(), testConfig("SF"), "mv", testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,11 +150,11 @@ func TestSSHidesLatencyOnIO4(t *testing.T) {
 		cfg.Core = config.IO4
 		return cfg
 	}
-	base, err := RunBenchmark(mk("Base"), "nn", testScale)
+	base, err := RunBenchmark(context.Background(), mk("Base"), "nn", testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ss, err := RunBenchmark(mk("SS"), "nn", testScale)
+	ss, err := RunBenchmark(context.Background(), mk("SS"), "nn", testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +169,11 @@ func TestConfluenceToggleAffectsTraffic(t *testing.T) {
 	on := testConfig("SF")
 	off := on
 	off.FloatConfluence = false
-	rOn, err := RunBenchmark(on, "conv3d", testScale)
+	rOn, err := RunBenchmark(context.Background(), on, "conv3d", testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rOff, err := RunBenchmark(off, "conv3d", testScale)
+	rOff, err := RunBenchmark(context.Background(), off, "conv3d", testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestInterleaveExtremes(t *testing.T) {
 	run := func(grain int) Results {
 		cfg := testConfig("SF")
 		cfg.L3InterleaveBytes = grain
-		res, err := RunBenchmark(cfg, "nn", testScale)
+		res, err := RunBenchmark(context.Background(), cfg, "nn", testScale)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -212,7 +213,7 @@ func TestLinkWidthMonotonic(t *testing.T) {
 	run := func(bits int) uint64 {
 		cfg := testConfig("Base")
 		cfg.LinkBits = bits
-		res, err := RunBenchmark(cfg, "conv3d", testScale)
+		res, err := RunBenchmark(context.Background(), cfg, "conv3d", testScale)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -240,7 +241,7 @@ func TestRunCycleBoundReported(t *testing.T) {
 // accounted for every configuration.
 func TestEnergyAccounting(t *testing.T) {
 	for _, sys := range []string{"Base", "SF"} {
-		res, err := RunBenchmark(testConfig(sys), "mv", testScale)
+		res, err := RunBenchmark(context.Background(), testConfig(sys), "mv", testScale)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -252,7 +253,7 @@ func TestEnergyAccounting(t *testing.T) {
 
 // TestTLBTranslationsCounted: floating generates SE-side translations.
 func TestTLBTranslationsCounted(t *testing.T) {
-	res, err := RunBenchmark(testConfig("SF"), "mv", testScale)
+	res, err := RunBenchmark(context.Background(), testConfig("SF"), "mv", testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestTLBTranslationsCounted(t *testing.T) {
 
 // TestSummaryJSON: the run digest round-trips through JSON with sane values.
 func TestSummaryJSON(t *testing.T) {
-	res, err := RunBenchmark(testConfig("SF"), "conv3d", testScale)
+	res, err := RunBenchmark(context.Background(), testConfig("SF"), "conv3d", testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,11 +291,11 @@ func TestSummaryJSON(t *testing.T) {
 // TestSFImprovesLoadLatency: floated data waits locally in SE_L2, so the
 // p50 load latency must drop versus the baseline on a streaming workload.
 func TestSFImprovesLoadLatency(t *testing.T) {
-	base, err := RunBenchmark(testConfig("Base"), "nn", testScale)
+	base, err := RunBenchmark(context.Background(), testConfig("Base"), "nn", testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sf, err := RunBenchmark(testConfig("SF"), "nn", testScale)
+	sf, err := RunBenchmark(context.Background(), testConfig("SF"), "nn", testScale)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseNames(t *testing.T) {
+	got, err := ParseNames(" mv , nn ,conv3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"mv", "nn", "conv3d"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseNames = %v, want %v", got, want)
+	}
+}
+
+func TestParseNamesEmpty(t *testing.T) {
+	for _, in := range []string{"", " ", ",", " , "} {
+		got, err := ParseNames(in)
+		if err != nil || got != nil {
+			t.Errorf("ParseNames(%q) = %v, %v; want nil, nil", in, got, err)
+		}
+	}
+}
+
+func TestParseNamesUnknown(t *testing.T) {
+	_, err := ParseNames("mv,typo")
+	if err == nil {
+		t.Fatal("no error for unknown benchmark")
+	}
+	if !strings.Contains(err.Error(), `"typo"`) || !strings.Contains(err.Error(), "mv") {
+		t.Errorf("error %q should name the bad entry and list valid benchmarks", err)
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Valid("mv") {
+		t.Error("mv should be a valid benchmark")
+	}
+	if Valid("no-such-kernel") {
+		t.Error("unknown name reported valid")
+	}
+}

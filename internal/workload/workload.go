@@ -13,6 +13,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"streamfloat/internal/mem"
 	"streamfloat/internal/stream"
@@ -156,6 +157,33 @@ func New(name string) (Kernel, error) {
 		return nil, fmt.Errorf("workload: unknown kernel %q", name)
 	}
 	return f(), nil
+}
+
+// Valid reports whether a benchmark name is registered.
+func Valid(name string) bool {
+	_, ok := factories[name]
+	return ok
+}
+
+// ParseNames parses a comma-separated benchmark list: names are
+// whitespace-trimmed, empty entries dropped, and every name validated
+// against the registry so that a typo (e.g. "mv, nn" passed unquoted) is
+// reported up front — with the valid suite in the message — instead of
+// failing mid-sweep after minutes of simulation. An empty list returns nil.
+func ParseNames(list string) ([]string, error) {
+	var out []string
+	for _, raw := range strings.Split(list, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		if !Valid(name) {
+			return nil, fmt.Errorf("workload: unknown benchmark %q (valid: %s)",
+				name, strings.Join(Names(), ", "))
+		}
+		out = append(out, name)
+	}
+	return out, nil
 }
 
 // Names lists the registered benchmarks in the paper's presentation order;

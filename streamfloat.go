@@ -16,6 +16,7 @@
 package streamfloat
 
 import (
+	"context"
 	"io"
 
 	"streamfloat/internal/config"
@@ -112,7 +113,22 @@ func Build(cfg Config, benchmark string, scale float64) (*Machine, error) {
 
 // Run builds and runs one benchmark to completion.
 func Run(cfg Config, benchmark string, scale float64) (Results, error) {
-	return system.RunBenchmark(cfg, benchmark, scale)
+	return system.RunBenchmark(context.Background(), cfg, benchmark, scale)
+}
+
+// RunContext is Run with cancellation: the simulation's event loop polls ctx
+// and aborts promptly (within a few thousand processed events) once it is
+// cancelled or times out.
+func RunContext(ctx context.Context, cfg Config, benchmark string, scale float64) (Results, error) {
+	return system.RunBenchmark(ctx, cfg, benchmark, scale)
+}
+
+// ParseBenchmarks parses a comma-separated benchmark list (as accepted by
+// the sfexp/sfserve -bench inputs): names are whitespace-trimmed and
+// validated against the registered suite up front, so typos are reported
+// before any simulation runs. An empty input returns nil (= full suite).
+func ParseBenchmarks(list string) ([]string, error) {
+	return workload.ParseNames(list)
 }
 
 // Tracer is the structured simulation tracer: per-tile ring buffers of
