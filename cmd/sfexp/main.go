@@ -8,6 +8,7 @@
 //	sfexp -fig all -csv -out results/              # one CSV per figure
 //	sfexp -fig 13 -bench pathfinder -trace out.json # plus a Chrome-trace export
 //	sfexp -fig 13 -cache ~/.cache/sf               # memoize runs on disk
+//	sfexp -fig 13 -backends host1:8080,host2:8080  # shard the sweep over sfserve backends
 package main
 
 import (
@@ -18,8 +19,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"streamfloat"
+	"streamfloat/internal/cluster"
 	"streamfloat/internal/serve"
 )
 
@@ -46,6 +49,7 @@ func run() (err error) {
 		chart     = flag.String("chart", "", "also render an ASCII bar chart of metrics with this suffix (e.g. speedup)")
 		san       = flag.String("sanitize", "auto", "runtime invariant probes: on, off, or auto (on inside go test, off here)")
 		cacheDir  = flag.String("cache", "", "serve simulations from a result-cache directory (shared with sfserve)")
+		backends  = flag.String("backends", "", "comma-separated sfserve backends to shard the sweep over (host:port,...); -cache becomes the local fallback store")
 		tracePath = flag.String("trace", "", "also run one traced simulation and write Chrome-trace JSON here (inspect with sftrace or ui.perfetto.dev)")
 		traceSys  = flag.String("tracesys", "SF", "system for the -trace run (Base, Stride, Bingo, SS, SF, ...)")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -97,6 +101,33 @@ func run() (err error) {
 			st := store.Stats()
 			log.Printf("cache: %d mem hits, %d disk hits, %d misses, %d dedups (dir %s)",
 				st.Hits, st.DiskHits, st.Misses, st.Dedups, *cacheDir)
+		}()
+	}
+
+	// -backends shards the sweep across sfserve processes by consistent-
+	// hashing each point's cache key; a -cache store, when also given,
+	// doubles as the local fallback cache for points the cluster cannot
+	// serve.
+	if *backends != "" {
+		cc := cluster.Config{Origin: "sfexp"}
+		for _, b := range strings.Split(*backends, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				cc.Backends = append(cc.Backends, b)
+			}
+		}
+		if store != nil {
+			cc.Local = store
+		}
+		client, cerr := cluster.New(cc)
+		if cerr != nil {
+			return cerr
+		}
+		opts.Cache = client
+		defer func() {
+			client.Close()
+			st := client.Stats()
+			log.Printf("cluster: %d remote, %d retries, %d hedges (%d wins), %d local fallbacks, %d ejections (%d backends)",
+				st.Remote, st.Retries, st.Hedges, st.HedgeWins, st.Fallbacks, st.Ejections, len(cc.Backends))
 		}()
 	}
 

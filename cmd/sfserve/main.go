@@ -10,9 +10,13 @@
 // Endpoints:
 //
 //	POST /run          {"system":"SF","core":"OOO8","benchmark":"mv","scale":0.25}
+//	                   (or {"config":{...},"benchmark":"mv","scale":0.25} for
+//	                   arbitrary sweep points shipped by a cluster client)
 //	GET  /figure/13?scale=0.05&bench=nn,conv3d&format=csv
 //	GET  /healthz
-//	GET  /metrics
+//	GET  /metrics      (includes per-origin request counters keyed by the
+//	                   X-SF-Origin header, so backend load is attributable
+//	                   to the sweeps driving it)
 //
 // Jobs are cancellable end to end: a client disconnect or per-job timeout
 // stops the simulation at its next event-loop cancellation check instead of

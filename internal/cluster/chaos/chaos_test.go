@@ -1,0 +1,165 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newEcho starts a backend that replies with a fixed body and a marker
+// header, so forwarding fidelity is checkable.
+func newEcho(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Echo", r.URL.Path)
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func newProxy(t *testing.T, target string, decide func(n int, r *http.Request) Decision) (*Proxy, *httptest.Server) {
+	t.Helper()
+	p := New(target, decide)
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+	return p, ts
+}
+
+// TestProxyTransparent: with no script, the proxy forwards requests and
+// responses (status, headers, body) untouched.
+func TestProxyTransparent(t *testing.T) {
+	echo := newEcho(t, "hello world")
+	p, ts := newProxy(t, echo.URL, nil)
+	resp, err := http.Get(ts.URL + "/some/path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "hello world" {
+		t.Fatalf("status %d body %q", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Echo") != "/some/path" {
+		t.Errorf("header not forwarded: %q", resp.Header.Get("X-Echo"))
+	}
+	if p.Requests() != 1 {
+		t.Errorf("requests = %d, want 1", p.Requests())
+	}
+}
+
+// TestProxy5xx: a scripted 503 never reaches the backend.
+func TestProxy5xx(t *testing.T) {
+	echo := newEcho(t, "x")
+	backendHits := 0
+	echo.Config.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		backendHits++
+	})
+	p, ts := newProxy(t, echo.URL, func(n int, _ *http.Request) Decision {
+		return Decision{Fault: Fault5xx}
+	})
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if backendHits != 0 {
+		t.Errorf("backend reached %d times behind a 5xx fault", backendHits)
+	}
+	if p.Injected(Fault5xx) != 1 {
+		t.Errorf("injected(5xx) = %d, want 1", p.Injected(Fault5xx))
+	}
+}
+
+// TestProxyDrop: the client sees a transport error, not an HTTP response.
+func TestProxyDrop(t *testing.T) {
+	echo := newEcho(t, "x")
+	p, ts := newProxy(t, echo.URL, func(n int, _ *http.Request) Decision {
+		return Decision{Fault: FaultDrop}
+	})
+	resp, err := http.Get(ts.URL)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("dropped request produced a response: %d", resp.StatusCode)
+	}
+	if p.Injected(FaultDrop) != 1 {
+		t.Errorf("injected(drop) = %d, want 1", p.Injected(FaultDrop))
+	}
+}
+
+// TestProxyTruncate: the response announces the full Content-Length but the
+// body ends halfway — an unexpected EOF for the reader.
+func TestProxyTruncate(t *testing.T) {
+	echo := newEcho(t, strings.Repeat("payload!", 64))
+	_, ts := newProxy(t, echo.URL, func(n int, _ *http.Request) Decision {
+		return Decision{Fault: FaultTruncate}
+	})
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read %d truncated bytes with no error", len(body))
+	}
+	if len(body) >= 8*64 {
+		t.Errorf("body not truncated: %d bytes", len(body))
+	}
+}
+
+// TestProxyDelay: the scripted delay is observed before the forward.
+func TestProxyDelay(t *testing.T) {
+	echo := newEcho(t, "x")
+	_, ts := newProxy(t, echo.URL, func(n int, _ *http.Request) Decision {
+		return Decision{Fault: FaultDelay, Delay: 50 * time.Millisecond}
+	})
+	start := time.Now()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("delayed request returned in %v", d)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d after delay", resp.StatusCode)
+	}
+}
+
+// TestProxyScriptByIndex: faults key off the deterministic request index —
+// the third request fails, the rest pass.
+func TestProxyScriptByIndex(t *testing.T) {
+	echo := newEcho(t, "x")
+	p, ts := newProxy(t, echo.URL, func(n int, _ *http.Request) Decision {
+		if n == 2 {
+			return Decision{Fault: Fault5xx}
+		}
+		return Decision{}
+	})
+	var codes []int
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	want := []int{200, 200, 503, 200}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("codes = %v, want %v", codes, want)
+		}
+	}
+	if p.Requests() != 4 || p.Injected(Fault5xx) != 1 {
+		t.Errorf("requests=%d injected=%d", p.Requests(), p.Injected(Fault5xx))
+	}
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// ringKeys generates n distinct keys shaped like real cache keys: SHA-256
+// hex digests, uniform across the ring (keyPos reads the leading hex chars,
+// so sequential integers formatted as hex would all collapse to position 0).
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+// TestRingSuccessorsCoverAllBackends: for any key, the failover order visits
+// every backend exactly once, starting at the key's owner.
+func TestRingSuccessorsCoverAllBackends(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := newRing(addrs)
+	for _, key := range ringKeys(100) {
+		order := r.successors(key)
+		if len(order) != len(addrs) {
+			t.Fatalf("key %.8s…: %d successors, want %d", key, len(order), len(addrs))
+		}
+		seen := map[int]bool{}
+		for _, b := range order {
+			if b < 0 || b >= len(addrs) || seen[b] {
+				t.Fatalf("key %.8s…: bad failover order %v", key, order)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+// TestRingDeterministic: the ring is a pure function of the backend
+// addresses — two rings over the same list route identically.
+func TestRingDeterministic(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1, r2 := newRing(addrs), newRing(addrs)
+	for _, key := range ringKeys(200) {
+		a, b := r1.successors(key), r2.successors(key)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("key %.8s…: %v vs %v", key, a, b)
+			}
+		}
+	}
+}
+
+// TestRingStability: removing one backend only remaps the keys it owned;
+// every other key keeps its owner. This is the property that keeps the
+// surviving backends' caches hot through a topology change.
+func TestRingStability(t *testing.T) {
+	full := []string{"http://a:1", "http://b:1", "http://c:1"}
+	reduced := full[:2]
+	rFull, rReduced := newRing(full), newRing(reduced)
+	moved := 0
+	keys := ringKeys(1000)
+	for _, key := range keys {
+		before := rFull.successors(key)[0]
+		after := rReduced.successors(key)[0]
+		if before == 2 {
+			moved++
+			continue // c's keys must move somewhere
+		}
+		if after != before {
+			t.Fatalf("key %.8s… moved from %d to %d though its backend survived", key, before, after)
+		}
+	}
+	if moved == 0 || moved == len(keys) {
+		t.Fatalf("implausible shard for removed backend: %d/%d keys", moved, len(keys))
+	}
+}
+
+// TestRingBalance: virtual nodes keep the shard sizes within a reasonable
+// band of even (no backend starved or doubled).
+func TestRingBalance(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(addrs)
+	counts := make([]int, len(addrs))
+	keys := ringKeys(3000)
+	for _, key := range keys {
+		counts[r.successors(key)[0]]++
+	}
+	want := len(keys) / len(addrs)
+	for i, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("backend %d owns %d/%d keys, want within [%d, %d]", i, c, len(keys), want/2, want*2)
+		}
+	}
+}
+
+// TestHealthEjectionAndReadmission walks a backend through the passive
+// health lifecycle with an injected clock: consecutive failures eject it,
+// the ejection window expires into probation, and one more failure re-ejects
+// immediately while a success restores full health.
+func TestHealthEjectionAndReadmission(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	h := newHealth(2, 3, 10*time.Second, clock)
+
+	if !h.available(0) {
+		t.Fatal("fresh backend not available")
+	}
+	h.failure(0)
+	h.failure(0)
+	if !h.available(0) {
+		t.Fatal("ejected below the failure threshold")
+	}
+	if !h.failure(0) {
+		t.Fatal("third consecutive failure did not eject")
+	}
+	if h.available(0) {
+		t.Fatal("available while ejected")
+	}
+	if h.available(1) {
+		// Backend 1 never failed; ejection must be per-backend.
+	} else {
+		t.Fatal("healthy backend caught its neighbor's ejection")
+	}
+
+	now = now.Add(11 * time.Second) // window passes -> probation
+	if !h.available(0) {
+		t.Fatal("not readmitted after the ejection window")
+	}
+	if !h.failure(0) {
+		t.Fatal("probation failure did not re-eject immediately")
+	}
+	if h.available(0) {
+		t.Fatal("available after probation failure")
+	}
+
+	now = now.Add(11 * time.Second)
+	h.success(0)
+	if !h.available(0) {
+		t.Fatal("success did not restore health")
+	}
+	h.failure(0)
+	h.failure(0)
+	if h.ejectionCount() != 2 {
+		t.Fatalf("ejections = %d, want 2", h.ejectionCount())
+	}
+	if !h.available(0) {
+		t.Fatal("success should have reset the consecutive-failure count")
+	}
+}

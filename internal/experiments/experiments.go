@@ -57,6 +57,19 @@ type ResultCache interface {
 	Do(ctx context.Context, key string, compute func() (system.Results, error)) (system.Results, error)
 }
 
+// PointCache is an optional ResultCache extension for implementations that
+// need the full simulation point, not just its opaque key — a cluster client
+// shipping the job to a remote sfserve backend cannot reconstruct the
+// configuration from a hash. When opts.Cache implements it, runAll calls
+// DoPoint instead of Do; cluster.Client is the canonical implementation.
+type PointCache interface {
+	ResultCache
+	// DoPoint behaves like Do for the point identified by key, which the
+	// caller guarantees equals system.CacheKey(cfg, bench, scale). compute
+	// runs the point locally and is the implementation's degraded path.
+	DoPoint(ctx context.Context, key string, cfg config.Config, bench string, scale float64, compute func() (system.Results, error)) (system.Results, error)
+}
+
 // context resolves the sweep context, defaulting to Background.
 func (o Options) context() context.Context {
 	if o.Context != nil {
@@ -190,10 +203,14 @@ func runAll(ctx context.Context, opts Options, keys []runKey) ([]system.Results,
 			run := func() (system.Results, error) {
 				return system.RunBenchmark(ctx, cfg, k.bench, opts.scale())
 			}
-			if opts.Cache != nil {
-				results[i], errs[i] = opts.Cache.Do(ctx, system.CacheKey(cfg, k.bench, opts.scale()), run)
-			} else {
+			switch cache := opts.Cache.(type) {
+			case nil:
 				results[i], errs[i] = run()
+			case PointCache:
+				key := system.CacheKey(cfg, k.bench, opts.scale())
+				results[i], errs[i] = cache.DoPoint(ctx, key, cfg, k.bench, opts.scale(), run)
+			default:
+				results[i], errs[i] = cache.Do(ctx, system.CacheKey(cfg, k.bench, opts.scale()), run)
 			}
 			if errs[i] != nil {
 				cancel()

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"streamfloat/internal/system"
+)
+
+// FuzzStoreDiskJSON hammers the Store's on-disk layer with adversarial keys
+// and file contents. The contract under test: a corrupted, truncated,
+// wrong-key, or otherwise malformed cache entry degrades to a cache miss —
+// compute runs and its result is returned — never an error, a panic, or a
+// silently-served zero result; and no key, however hostile, ever maps to a
+// file outside the cache directory.
+//
+// This target surfaced two real bugs, both fixed in store.go: keys with
+// path separators escaped the cache dir via filepath.Join, and degenerate
+// JSON like "null" or "{}" unmarshalled cleanly into a zero Results and was
+// served as a hit. Disk entries now live behind safeKey and a versioned
+// envelope that binds each file to its key.
+func FuzzStoreDiskJSON(f *testing.F) {
+	valid, _ := json.Marshal(diskEntry{V: diskEntryVersion, Key: "k", Results: system.Results{Benchmark: "nn"}})
+	f.Add("k", valid)
+	f.Add("k", valid[:len(valid)/2]) // truncated mid-JSON
+	f.Add("k", []byte("null"))
+	f.Add("k", []byte("{}"))
+	f.Add("k", []byte(`{"v":1,"key":"other","results":{}}`)) // mis-renamed entry
+	f.Add("k", []byte(`{"Benchmark":"nn"}`))                 // pre-envelope legacy layout
+	f.Add("../../escape", valid)
+	f.Add("a/b", []byte("x"))
+	f.Add("", []byte{0xff, 0x00, 0x7f})
+	f.Fuzz(func(t *testing.T, key string, data []byte) {
+		dir := t.TempDir()
+		st, err := NewStore(0, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The disk layer must confine every key to the cache directory (or
+		// refuse it outright).
+		if p := st.diskPath(key); p != "" {
+			rel, err := filepath.Rel(dir, p)
+			if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+				t.Fatalf("diskPath escapes the cache dir: key %q -> %q", key, p)
+			}
+			// Plant the fuzzed bytes where diskGet will look.
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Skipf("cannot plant file for key %q: %v", key, err)
+			}
+		}
+
+		want := system.Results{Benchmark: "fuzz-fresh"}
+		computes := 0
+		res, err := st.Do(context.Background(), key, func() (system.Results, error) {
+			computes++
+			return want, nil
+		})
+		if err != nil {
+			t.Fatalf("Do returned an error for a corrupt disk entry: %v", err)
+		}
+		switch computes {
+		case 0:
+			// The planted bytes decoded as a well-formed envelope for this
+			// exact key — legitimate cache behavior, but only if they
+			// really do parse to a matching entry.
+			var ent diskEntry
+			if jerr := json.Unmarshal(data, &ent); jerr != nil || ent.V != diskEntryVersion || ent.Key != key {
+				t.Fatalf("disk hit served from bytes that are not a valid entry for key %q", key)
+			}
+			if !reflect.DeepEqual(res, ent.Results) {
+				t.Fatalf("disk hit does not match the planted entry")
+			}
+		case 1:
+			if !reflect.DeepEqual(res, want) {
+				t.Fatalf("corrupt entry: compute ran but Do returned %+v", res)
+			}
+		default:
+			t.Fatalf("compute ran %d times", computes)
+		}
+
+		// Whatever Do wrote back must round-trip from a fresh Store (a new
+		// process over the same directory) without recomputing — or, for
+		// disk-unsafe keys, recompute cleanly.
+		st2, err := NewStore(0, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res2, err := st2.Do(context.Background(), key, func() (system.Results, error) {
+			return res, nil
+		})
+		if err != nil {
+			t.Fatalf("fresh store Do: %v", err)
+		}
+		if !reflect.DeepEqual(res2, res) {
+			t.Fatalf("disk round-trip changed the result: %+v vs %+v", res2, res)
+		}
+	})
+}

@@ -60,7 +60,48 @@ type Server struct {
 	failed   atomic.Uint64
 	draining atomic.Bool
 
+	// origins counts job submissions (/run and /figure) per requesting
+	// origin — the X-SF-Origin header a cluster client stamps on its
+	// requests, "direct" when absent — so operators can attribute backend
+	// load to sweeps.
+	originMu sync.Mutex
+	origins  map[string]uint64
+
 	lat latencyWindow
+}
+
+// OriginHeader names the request header carrying the client's origin label
+// for the per-origin /metrics counters (cluster.OriginHeader sets it).
+const OriginHeader = "X-SF-Origin"
+
+// recordOrigin attributes one job submission to its origin.
+func (s *Server) recordOrigin(r *http.Request) {
+	origin := r.Header.Get(OriginHeader)
+	if origin == "" {
+		origin = "direct"
+	}
+	s.originMu.Lock()
+	if s.origins == nil {
+		s.origins = map[string]uint64{}
+	}
+	s.origins[origin]++
+	s.originMu.Unlock()
+}
+
+// originCounts snapshots the per-origin counters in sorted order.
+func (s *Server) originCounts() ([]string, []uint64) {
+	s.originMu.Lock()
+	names := make([]string, 0, len(s.origins))
+	for o := range s.origins {
+		names = append(names, o)
+	}
+	sort.Strings(names)
+	counts := make([]uint64, len(names))
+	for i, o := range names {
+		counts[i] = s.origins[o]
+	}
+	s.originMu.Unlock()
+	return names, counts
 }
 
 // NewServer wires the handler. It panics if cfg.Store is nil.
@@ -101,7 +142,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) Drain() { s.draining.Store(true) }
 
 // JobRequest is the POST /run body. Exactly one simulation point: a named
-// §VI system on a core kind, one benchmark, one dataset scale.
+// §VI system on a core kind — or, for sweep points the named systems cannot
+// express (mutated link widths, mesh sizes, interleavings...), a full
+// explicit Config — plus one benchmark and one dataset scale.
 type JobRequest struct {
 	System    string  `json:"system"`               // Base, Stride, Bingo, SS, SF, SF-Aff, SF-Ind (default Base)
 	Core      string  `json:"core"`                 // IO4, OOO4, OOO8 (default OOO8)
@@ -109,6 +152,12 @@ type JobRequest struct {
 	Scale     float64 `json:"scale"`                // dataset scale (default 0.25)
 	Sanitize  string  `json:"sanitize,omitempty"`   // auto, on, off (default auto)
 	TimeoutMS int64   `json:"timeout_ms,omitempty"` // per-job cap below the server default
+
+	// Config, when set, is the full machine configuration to simulate,
+	// verbatim (System, Core and Sanitize are ignored). This is how
+	// cluster clients ship arbitrary sweep points; the config is validated
+	// before running.
+	Config *config.Config `json:"config,omitempty"`
 }
 
 // JobResponse is the POST /run reply.
@@ -121,35 +170,44 @@ type JobResponse struct {
 
 // job resolves a JobRequest into a runnable configuration.
 func (r JobRequest) resolve() (config.Config, string, float64, error) {
-	sys := r.System
-	if sys == "" {
-		sys = "Base"
-	}
-	coreName := r.Core
-	if coreName == "" {
-		coreName = "OOO8"
-	}
-	var core config.CoreKind
-	switch coreName {
-	case "IO4":
-		core = config.IO4
-	case "OOO4":
-		core = config.OOO4
-	case "OOO8":
-		core = config.OOO8
-	default:
-		return config.Config{}, "", 0, fmt.Errorf("unknown core %q (valid: IO4, OOO4, OOO8)", coreName)
-	}
-	cfg, err := config.ForSystem(sys, core)
-	if err != nil {
-		return config.Config{}, "", 0, err
-	}
-	if r.Sanitize != "" {
-		mode, err := sanitize.ParseMode(r.Sanitize)
+	var cfg config.Config
+	if r.Config != nil {
+		cfg = *r.Config
+		if err := cfg.Validate(); err != nil {
+			return config.Config{}, "", 0, err
+		}
+	} else {
+		sys := r.System
+		if sys == "" {
+			sys = "Base"
+		}
+		coreName := r.Core
+		if coreName == "" {
+			coreName = "OOO8"
+		}
+		var core config.CoreKind
+		switch coreName {
+		case "IO4":
+			core = config.IO4
+		case "OOO4":
+			core = config.OOO4
+		case "OOO8":
+			core = config.OOO8
+		default:
+			return config.Config{}, "", 0, fmt.Errorf("unknown core %q (valid: IO4, OOO4, OOO8)", coreName)
+		}
+		var err error
+		cfg, err = config.ForSystem(sys, core)
 		if err != nil {
 			return config.Config{}, "", 0, err
 		}
-		cfg.Sanitize = mode
+		if r.Sanitize != "" {
+			mode, err := sanitize.ParseMode(r.Sanitize)
+			if err != nil {
+				return config.Config{}, "", 0, err
+			}
+			cfg.Sanitize = mode
+		}
 	}
 	if r.Benchmark == "" {
 		return config.Config{}, "", 0, fmt.Errorf("benchmark is required (valid: %s)", strings.Join(workload.Names(), ", "))
@@ -207,6 +265,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	s.recordOrigin(r)
 	var req JobRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
@@ -266,6 +325,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	s.recordOrigin(r)
 	id := strings.TrimPrefix(r.URL.Path, "/figure/")
 	fn, ok := experiments.ByName(id)
 	if !ok {
@@ -359,6 +419,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("sfserve_cache_dedups", cs.Dedups, "requests that shared another caller's simulation")
 	counter("sfserve_cache_disk_errors", cs.DiskErrs, "failed best-effort disk cache operations")
 	gauge("sfserve_cache_entries", int64(cs.Entries), "in-memory cache entries")
+	origins, counts := s.originCounts()
+	if len(origins) > 0 {
+		fmt.Fprintf(&b, "# HELP sfserve_requests_total job submissions by origin (%s header; \"direct\" when absent)\n", OriginHeader)
+		fmt.Fprintf(&b, "# TYPE sfserve_requests_total counter\n")
+		for i, o := range origins {
+			fmt.Fprintf(&b, "sfserve_requests_total{origin=%q} %d\n", o, counts[i])
+		}
+	}
 	fmt.Fprintf(&b, "# HELP sfserve_job_latency_seconds job wall-clock latency quantiles over the last %d jobs\n", latWindow)
 	fmt.Fprintf(&b, "# TYPE sfserve_job_latency_seconds summary\n")
 	fmt.Fprintf(&b, "sfserve_job_latency_seconds{quantile=\"0.5\"} %g\n", p50)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -223,30 +224,75 @@ func (s *Store) memPutLocked(key string, res system.Results) {
 	}
 }
 
-// diskPath maps a key to its JSON file. Keys are hex digests, so they are
-// safe as file names.
-func (s *Store) diskPath(key string) string { return filepath.Join(s.dir, key+".json") }
+// diskEntryVersion tags the on-disk envelope layout. Bumping it orphans old
+// files (they re-miss and are rewritten) instead of misreading them.
+const diskEntryVersion = 1
 
-// diskGet loads a result from the on-disk layer. Unreadable or corrupt
-// files count as misses (and bump the disk-error counter) — the entry is
-// recomputed and rewritten.
+// diskEntry is the on-disk JSON envelope. Carrying the key inside the file
+// lets diskGet reject entries that do not actually belong to the key being
+// looked up: a truncated, overwritten, or mis-renamed file (or degenerate
+// JSON like "null" or "{}", which unmarshals cleanly into a bare Results)
+// degrades to a cache miss instead of silently serving zero-valued results.
+type diskEntry struct {
+	V       int            `json:"v"`
+	Key     string         `json:"key"`
+	Results system.Results `json:"results"`
+}
+
+// safeKey reports whether a key may be used as a cache file name. Real keys
+// are system.CacheKey hex digests; the Store API accepts arbitrary strings,
+// and anything that could navigate the filesystem (path separators, "..",
+// drive letters) must never reach filepath.Join — an unsafe key simply
+// bypasses the disk layer and lives in memory only.
+func safeKey(key string) bool {
+	if key == "" || len(key) > 255 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return key != "." && key != ".." && !strings.Contains(key, "..")
+}
+
+// diskPath maps a key to its JSON file, or "" when the key is unsafe as a
+// file name (the disk layer is skipped for it).
+func (s *Store) diskPath(key string) string {
+	if !safeKey(key) {
+		return ""
+	}
+	return filepath.Join(s.dir, key+".json")
+}
+
+// diskGet loads a result from the on-disk layer. Unreadable, corrupt, or
+// wrong-key files count as misses (and bump the disk-error counter) — the
+// entry is recomputed and rewritten.
 func (s *Store) diskGet(key string) (system.Results, bool) {
 	if s.dir == "" {
 		return system.Results{}, false
 	}
-	data, err := os.ReadFile(s.diskPath(key))
+	path := s.diskPath(key)
+	if path == "" {
+		return system.Results{}, false
+	}
+	data, err := os.ReadFile(path)
 	if err != nil {
 		if !os.IsNotExist(err) {
 			s.diskErrs.Add(1)
 		}
 		return system.Results{}, false
 	}
-	var res system.Results
-	if err := json.Unmarshal(data, &res); err != nil {
+	var ent diskEntry
+	if err := json.Unmarshal(data, &ent); err != nil || ent.V != diskEntryVersion || ent.Key != key {
 		s.diskErrs.Add(1)
 		return system.Results{}, false
 	}
-	return res, true
+	return ent.Results, true
 }
 
 // diskPut persists a result, best-effort: a full disk or unwritable
@@ -257,7 +303,11 @@ func (s *Store) diskPut(key string, res system.Results) {
 	if s.dir == "" {
 		return
 	}
-	data, err := json.Marshal(res)
+	path := s.diskPath(key)
+	if path == "" {
+		return
+	}
+	data, err := json.Marshal(diskEntry{V: diskEntryVersion, Key: key, Results: res})
 	if err != nil {
 		s.diskErrs.Add(1)
 		return
@@ -274,7 +324,7 @@ func (s *Store) diskPut(key string, res system.Results) {
 		s.diskErrs.Add(1)
 		return
 	}
-	if err := os.Rename(tmp.Name(), s.diskPath(key)); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		s.diskErrs.Add(1)
 	}

@@ -1,0 +1,92 @@
+package workload_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"streamfloat/internal/config"
+	"streamfloat/internal/system"
+	"streamfloat/internal/workload"
+)
+
+// TestKernelDeterminismAcrossParallelism runs every benchmark kernel at spot
+// scale under sweep parallelism 1, 4, and GOMAXPROCS and requires identical
+// system.Results from each. This is the property the whole distribution
+// story rests on: results must not depend on how many sibling simulations
+// share the process — otherwise a sharded sweep (remote backends each
+// running a different mix of concurrent jobs) could never be bit-identical
+// to a local one, and content-addressed caching would serve
+// schedule-dependent answers.
+func TestKernelDeterminismAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every kernel three times")
+	}
+	cfg, err := config.ForSystem("SF", config.OOO8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MeshWidth, cfg.MeshHeight = 4, 4
+	benches := workload.Names()
+	const scale = 0.05
+
+	// sweep runs all benchmarks concurrently, at most par at a time —
+	// the same shape as experiments.runAll — and returns results in order.
+	sweep := func(par int) []system.Results {
+		t.Helper()
+		out := make([]system.Results, len(benches))
+		errs := make([]error, len(benches))
+		sem := make(chan struct{}, par)
+		done := make(chan struct{})
+		for i, b := range benches {
+			go func(i int, b string) {
+				defer func() { done <- struct{}{} }()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				out[i], errs[i] = system.RunBenchmark(context.Background(), cfg, b, scale)
+			}(i, b)
+		}
+		for range benches {
+			<-done
+		}
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("%s: %v", benches[i], err)
+			}
+		}
+		return out
+	}
+
+	pars := []int{1, 4, runtime.GOMAXPROCS(0)}
+	runs := make([][]system.Results, len(pars))
+	for i, p := range pars {
+		runs[i] = sweep(p)
+	}
+	for i, p := range pars[1:] {
+		for bi, b := range benches {
+			if !reflect.DeepEqual(runs[0][bi], runs[i+1][bi]) {
+				t.Errorf("%s: results differ between parallelism 1 and %d:\n%s",
+					b, p, diffResults(runs[0][bi], runs[i+1][bi]))
+			}
+		}
+	}
+}
+
+// diffResults renders a compact field-level diff so a determinism failure
+// names the diverging counters instead of dumping two full structs.
+func diffResults(a, b system.Results) string {
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	tt := va.Type()
+	s := ""
+	for i := 0; i < tt.NumField(); i++ {
+		if !reflect.DeepEqual(va.Field(i).Interface(), vb.Field(i).Interface()) {
+			s += fmt.Sprintf("  %s: %v vs %v\n", tt.Field(i).Name, va.Field(i).Interface(), vb.Field(i).Interface())
+		}
+	}
+	if s == "" {
+		return "  (no field-level diff)"
+	}
+	return s
+}
