@@ -101,6 +101,26 @@ func BenchmarkFig02b_UnreusedTraffic(b *testing.B) {
 // comparison across Base/Stride/Bingo/SS/SF and IO4/OOO4/OOO8.
 func BenchmarkFig13_SpeedupEnergy(b *testing.B) { runFigure(b, experiments.Fig13) }
 
+// BenchmarkFig13Sampled_SpeedupEnergy regenerates Fig 13 under sampled
+// simulation (K=16, centered block): the same sweep as
+// BenchmarkFig13_SpeedupEnergy at ~3x less detailed-simulation work, with
+// the figure metrics now estimates. Comparing the two benchmarks' ns/op
+// measures the sampling subsystem's end-to-end payoff; comparing their
+// metrics bounds its bias.
+func BenchmarkFig13Sampled_SpeedupEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Sample = SampleParams{Intervals: 16}
+		t, err := experiments.Fig13(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportTable(b, t)
+		}
+	}
+}
+
 // BenchmarkFig14_FloatingRequests regenerates the L3 request breakdown.
 func BenchmarkFig14_FloatingRequests(b *testing.B) { runFigure(b, experiments.Fig14) }
 

@@ -9,6 +9,8 @@
 //	sfexp -fig 13 -bench pathfinder -trace out.json # plus a Chrome-trace export
 //	sfexp -fig 13 -cache ~/.cache/sf               # memoize runs on disk
 //	sfexp -fig 13 -backends host1:8080,host2:8080  # shard the sweep over sfserve backends
+//	sfexp -fig 13 -sample                          # sampled simulation (~3x less work, ±CI)
+//	sfexp -fig all -json -out results.json         # machine-readable report
 package main
 
 import (
@@ -46,6 +48,11 @@ func run() (err error) {
 		outPath   = flag.String("out", "", "write results to a file instead of stdout (with -fig all -csv: a directory)")
 		par       = flag.Int("par", 0, "parallel simulations (0 or negative = GOMAXPROCS)")
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of an aligned table (with -fig all: one CSV per figure into -out)")
+		asJSON    = flag.Bool("json", false, "emit one machine-readable JSON report instead of aligned tables")
+		doSample  = flag.Bool("sample", false, "sampled simulation: estimate each point from a measured interval block (reported with 95% CIs)")
+		sampleK   = flag.Int("sample-intervals", 16, "with -sample: intervals each kernel phase is partitioned into (K)")
+		sampleM   = flag.Int("sample-measure", 0, "with -sample: intervals measured in detail (0 = min(3, K))")
+		sampleSd  = flag.Int64("sample-seed", 0, "with -sample: deterministic measured-block placement (0 centers the block)")
 		chart     = flag.String("chart", "", "also render an ASCII bar chart of metrics with this suffix (e.g. speedup)")
 		san       = flag.String("sanitize", "auto", "runtime invariant probes: on, off, or auto (on inside go test, off here)")
 		cacheDir  = flag.String("cache", "", "serve simulations from a result-cache directory (shared with sfserve)")
@@ -81,6 +88,15 @@ func run() (err error) {
 		return err
 	}
 	opts := streamfloat.ExperimentOptions{Scale: *scale, Parallelism: *par, Sanitize: sanMode}
+	if *doSample {
+		opts.Sample = streamfloat.SampleParams{Intervals: *sampleK, Measure: *sampleM, Seed: *sampleSd}
+		if err := opts.Sample.Validate(); err != nil {
+			return err
+		}
+		if !opts.Sample.Enabled() {
+			return fmt.Errorf("-sample needs -sample-intervals > 1 (got %d)", *sampleK)
+		}
+	}
 
 	// Benchmark names are trimmed and validated up front: `-bench "mv, nn"`
 	// either runs mv and nn or reports the typo immediately, never minutes
@@ -131,6 +147,10 @@ func run() (err error) {
 		}()
 	}
 
+	if *asJSON && *asCSV {
+		return fmt.Errorf("-json and -csv are mutually exclusive")
+	}
+
 	// -fig all -csv writes one CSV per figure; -out names the directory.
 	if *fig == "all" && *asCSV {
 		dir := *outPath
@@ -155,6 +175,26 @@ func run() (err error) {
 			}
 		}()
 		w = f
+	}
+
+	// -json emits one machine-readable report for the whole evaluation or a
+	// single figure; sampled sweeps carry their confidence intervals.
+	if *asJSON {
+		var tables []streamfloat.NamedExperimentTable
+		if *fig == "all" {
+			tables, err = streamfloat.AllExperimentTables(opts)
+		} else {
+			var t *streamfloat.ExperimentTable
+			t, err = streamfloat.Experiment(*fig, opts)
+			tables = []streamfloat.NamedExperimentTable{{Name: *fig, Table: t}}
+		}
+		if err != nil {
+			return err
+		}
+		if err := streamfloat.WriteExperimentsJSON(w, tables); err != nil {
+			return err
+		}
+		return runTrace(opts, *tracePath, *traceSys)
 	}
 
 	if *fig == "all" {

@@ -9,13 +9,13 @@ import (
 // encoding below changes meaning (field added, removed, reordered, or a
 // semantic change to an existing field): stale on-disk cache entries then
 // simply stop matching instead of serving wrong results.
-const canonicalVersion = 1
+const canonicalVersion = 2
 
 // CanonicalFieldCount is the number of top-level Config fields the canonical
 // encoding covers. A test asserts it against reflect.TypeOf(Config{}).NumField()
 // so that adding a Config field without extending CanonicalBytes fails loudly
 // rather than silently aliasing distinct configurations.
-const CanonicalFieldCount = 25
+const CanonicalFieldCount = 26
 
 // CanonicalBytes returns a deterministic, version-tagged binary encoding of
 // every simulation-affecting Config field. Two configurations produce the
@@ -76,5 +76,15 @@ func (c Config) CanonicalBytes() []byte {
 	i(c.SinkHitThreshold)
 	i(c.ConfluenceBlock)
 	b(c.SanitizeEnabled())
+	// Sampling is encoded by its *resolved* parameters (like the sanitizer
+	// mode): disabled sampling collapses to zeros regardless of inert Seed/
+	// Measure values, and defaulted Measure encodes as its concrete value.
+	// Sampled and full runs therefore never alias, but equivalent spellings
+	// of the same sampled run share one key.
+	sp := c.Sample.Resolved()
+	i(sp.Intervals)
+	i(sp.Measure)
+	u(uint64(sp.Seed))
+	u(uint64(sp.Warmup))
 	return buf
 }

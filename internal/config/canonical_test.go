@@ -48,8 +48,12 @@ func TestCanonicalBytesDistinguishes(t *testing.T) {
 		"L2.SizeBytes":    func(c *Config) { c.L2.SizeBytes *= 2 },
 		"L3.BRRIPProb":    func(c *Config) { c.L3.BRRIPProb /= 2 },
 		"DRAMLatency":     func(c *Config) { c.DRAMLatency++ },
-		"FloatMissRatio":  func(c *Config) { c.FloatMissRatio += 0.01 },
-		"ConfluenceBlock": func(c *Config) { c.ConfluenceBlock++ },
+		"FloatMissRatio":   func(c *Config) { c.FloatMissRatio += 0.01 },
+		"ConfluenceBlock":  func(c *Config) { c.ConfluenceBlock++ },
+		"Sample.Intervals": func(c *Config) { c.Sample.Intervals = 16 },
+		"Sample.Measure":   func(c *Config) { c.Sample = SampleParams{Intervals: 16, Measure: 5} },
+		"Sample.Seed":      func(c *Config) { c.Sample = SampleParams{Intervals: 16, Seed: 7} },
+		"Sample.Warmup":    func(c *Config) { c.Sample = SampleParams{Intervals: 16, Warmup: 128} },
 	}
 	for name, mut := range muts {
 		cfg := base
@@ -57,6 +61,45 @@ func TestCanonicalBytesDistinguishes(t *testing.T) {
 		if bytes.Equal(ref, cfg.CanonicalBytes()) {
 			t.Errorf("mutating %s did not change CanonicalBytes", name)
 		}
+	}
+}
+
+// TestCanonicalBytesSampleResolved: sampling parameters are encoded in
+// resolved form. Disabled sampling (Intervals <= 1) must encode identically
+// to no sampling at all — an inert Seed on a disabled sampler runs the same
+// simulation — while any enabled sampler must get a distinct key from the
+// full-fidelity run (the aliasing the sampled-result cache must never
+// allow). Defaulted and explicit Measure spellings of one sampled run share
+// an encoding.
+func TestCanonicalBytesSampleResolved(t *testing.T) {
+	base, err := ForSystem("SF", OOO8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := base.CanonicalBytes()
+
+	disabled := base
+	disabled.Sample = SampleParams{Intervals: 1, Measure: 9, Seed: 42, Warmup: 7}
+	if !bytes.Equal(disabled.CanonicalBytes(), full) {
+		t.Error("disabled sampling with inert parameters encodes differently from no sampling")
+	}
+
+	sampled := base
+	sampled.Sample = SampleParams{Intervals: 16, Seed: 1}
+	if bytes.Equal(sampled.CanonicalBytes(), full) {
+		t.Error("sampled run shares the full-fidelity run's encoding (cache aliasing)")
+	}
+
+	explicit := sampled
+	explicit.Sample.Measure = 3 // the resolved default of Measure = 0
+	if !bytes.Equal(explicit.CanonicalBytes(), sampled.CanonicalBytes()) {
+		t.Error("defaulted and explicit Measure encode differently for one sampled run")
+	}
+
+	otherSeed := sampled
+	otherSeed.Sample.Seed = 2
+	if bytes.Equal(otherSeed.CanonicalBytes(), sampled.CanonicalBytes()) {
+		t.Error("different sample seeds share a canonical encoding")
 	}
 }
 

@@ -183,6 +183,72 @@ type Config struct {
 	// monotonicity) are attached to the machine. The zero value is
 	// sanitize.ModeAuto: probes on under "go test", off otherwise.
 	Sanitize sanitize.Mode
+
+	// Sample configures interval sampling (internal/sample): the zero value
+	// runs the full detailed simulation. Sampling changes what a run
+	// computes — estimates with confidence intervals instead of exact
+	// counters — so its parameters are part of the canonical encoding and
+	// the cache key.
+	Sample SampleParams
+}
+
+// SampleParams selects sampled simulation: each phase's iteration space is
+// partitioned into Intervals intervals, a seeded contiguous block of
+// Measure of them is simulated in detail (after functional fast-forward and
+// cache warmup), and the block's per-interval statistics are extrapolated
+// into whole-run estimates with t-based confidence intervals. Intervals <=
+// 1 disables sampling and the remaining fields are inert.
+type SampleParams struct {
+	// Intervals is K, the number of intervals each phase's iteration space
+	// is partitioned into. <= 1 runs the full detailed simulation.
+	Intervals int
+	// Measure is m, the number of intervals simulated in detail
+	// (0 picks min(3, Intervals); values above Intervals are clamped).
+	Measure int
+	// Seed rotates the measured block's start deterministically through the
+	// valid positions; 0 centers the block in the run.
+	Seed int64
+	// Warmup is the detailed warmup window, in iterations simulated (but
+	// not measured) before the measured block to establish pipeline, queue
+	// and cross-core desynchronization state (0 picks one and a half
+	// intervals). The phase's entire skipped prefix is additionally
+	// replayed functionally before the window to warm cache tags.
+	Warmup int64
+}
+
+// Enabled reports whether the parameters select sampled simulation.
+func (p SampleParams) Enabled() bool { return p.Intervals > 1 }
+
+// Resolved normalizes the parameters to the values the sampler actually
+// uses: disabled sampling collapses to the zero value (a disabled Seed runs
+// the same simulation as no sampling at all) and Measure defaults are
+// applied. CanonicalBytes encodes the resolved form so that parameter
+// spellings that run identical simulations share one cache key.
+func (p SampleParams) Resolved() SampleParams {
+	if !p.Enabled() {
+		return SampleParams{}
+	}
+	if p.Measure <= 0 {
+		p.Measure = 3
+	}
+	if p.Measure > p.Intervals {
+		p.Measure = p.Intervals
+	}
+	if p.Warmup < 0 {
+		p.Warmup = 0
+	}
+	return p
+}
+
+// Validate checks the sampling parameters.
+func (p SampleParams) Validate() error {
+	if p.Intervals < 0 {
+		return errors.New("config: Sample.Intervals must be non-negative")
+	}
+	if p.Measure < 0 {
+		return errors.New("config: Sample.Measure must be non-negative")
+	}
+	return nil
 }
 
 // SanitizeEnabled resolves the Sanitize mode for this run.
@@ -348,6 +414,9 @@ func (c Config) Validate() error {
 	}
 	if !c.Sanitize.Valid() {
 		return fmt.Errorf("config: Sanitize mode %d out of range", int(c.Sanitize))
+	}
+	if err := c.Sample.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -31,7 +31,7 @@ func deriveConfig(data []byte) config.Config {
 		sel := data[0]
 		v := binary.LittleEndian.Uint64(data[1:9])
 		data = data[9:]
-		switch sel % 25 {
+		switch sel % 26 {
 		case 0:
 			c.MeshWidth = int(1 + v%8)
 		case 1:
@@ -82,6 +82,15 @@ func deriveConfig(data []byte) config.Config {
 			c.ConfluenceBlock = int(1 + v%4)
 		case 24:
 			c.Sanitize = sanitize.Mode(v % 3)
+		case 25:
+			// Sampling parameters, including disabled (Intervals 0/1) and
+			// out-of-range Measure spellings the resolver clamps.
+			c.Sample = config.SampleParams{
+				Intervals: int(v % 10),
+				Measure:   int((v >> 8) % 12),
+				Seed:      int64((v >> 16) % 1024),
+				Warmup:    int64((v >> 28) % 4096),
+			}
 		}
 	}
 	// Sanitize the cross-field constraints Validate enforces: floating
@@ -99,14 +108,17 @@ func deriveConfig(data []byte) config.Config {
 }
 
 // resolved is a config with its tri-state sanitize mode pinned to the
-// concrete decision — the equality CanonicalBytes is specified against,
-// since ModeAuto and ModeOn run identical simulations inside a test binary.
+// concrete decision and its sampling parameters normalized — the equality
+// CanonicalBytes is specified against, since ModeAuto and ModeOn run
+// identical simulations inside a test binary, and disabled/defaulted
+// sampling spellings run the same simulation as their resolved form.
 func resolved(c config.Config) config.Config {
 	if c.SanitizeEnabled() {
 		c.Sanitize = sanitize.ModeOn
 	} else {
 		c.Sanitize = sanitize.ModeOff
 	}
+	c.Sample = c.Sample.Resolved()
 	return c
 }
 

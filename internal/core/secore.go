@@ -253,7 +253,7 @@ func (c *seCore) qualifies(s *coreStream) bool {
 		return true
 	}
 	if !s.decl.UnknownLength &&
-		s.decl.Affine.FootprintBytes() > int64(c.e.cfg.L2.SizeBytes) {
+		s.decl.FloatFootprintBytes() > int64(c.e.cfg.L2.SizeBytes) {
 		h.floated = true
 		return true
 	}

@@ -18,6 +18,7 @@ import (
 
 	"streamfloat/internal/config"
 	"streamfloat/internal/energy"
+	"streamfloat/internal/sample"
 	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
 	"streamfloat/internal/system"
@@ -35,6 +36,21 @@ type Options struct {
 	// Sanitize sets every simulation's runtime invariant checking: the zero
 	// value (auto) turns probes on inside test binaries and off elsewhere.
 	Sanitize sanitize.Mode
+	// Sample switches every simulation of the sweep to the sampled
+	// estimator (internal/sample) when enabled: each point simulates only a
+	// clustered block of measured intervals in detail and extrapolates the
+	// rest, trading a bounded confidence interval for a >=3x work
+	// reduction. The zero value keeps full-fidelity simulation. Sampled and
+	// full points never share cache keys (the canonical encoding includes
+	// the resolved parameters).
+	Sample config.SampleParams
+	// Estimates, when non-nil, collects the per-point sampled estimates
+	// (mean, 95% confidence half-width, work reduction) of the sweep.
+	// Figure runners provision one automatically for sampled sweeps and
+	// fold its summary into the produced table; set it explicitly only to
+	// inspect raw per-point estimates. Points served from a result cache
+	// contribute no fresh estimate.
+	Estimates *EstimateLog
 	// Context cancels an in-flight sweep: the first simulation error or a
 	// caller cancel stops scheduling new simulations and aborts running ones
 	// at their next event-loop cancellation check. nil means Background.
@@ -105,11 +121,16 @@ func (o Options) scale() float64 {
 // Metrics carries the headline numbers in machine-readable form (used by
 // the bench harness to report them).
 type Table struct {
-	Title   string
-	Header  []string
-	Rows    [][]string
-	Notes   []string
-	Metrics map[string]float64
+	Title   string             `json:"title"`
+	Header  []string           `json:"header"`
+	Rows    [][]string         `json:"rows"`
+	Notes   []string           `json:"notes,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Sampling summarises the sampled-simulation run behind the table —
+	// parameters, per-point estimates with confidence intervals, and the
+	// worst relative CI — when the sweep ran with Options.Sample enabled
+	// and computed at least one fresh point.
+	Sampling *SamplingSummary `json:"sampling,omitempty"`
 }
 
 func (t *Table) metric(name string, v float64) {
@@ -197,10 +218,19 @@ func runAll(ctx context.Context, opts Options, keys []runKey) ([]system.Results,
 				return
 			}
 			cfg.Sanitize = opts.Sanitize
+			cfg.Sample = opts.Sample
 			if k.mutate != nil {
 				k.mutate(&cfg)
 			}
 			run := func() (system.Results, error) {
+				if cfg.Sample.Enabled() {
+					est, err := sample.RunEstimate(ctx, cfg, k.bench, opts.scale())
+					if err != nil {
+						return system.Results{}, err
+					}
+					opts.Estimates.record(k, est)
+					return est.Results, nil
+				}
 				return system.RunBenchmark(ctx, cfg, k.bench, opts.scale())
 			}
 			switch cache := opts.Cache.(type) {
@@ -717,7 +747,7 @@ func AreaTable() *Table {
 // attribution appendix), writing rendered tables to w.
 func All(opts Options, w io.Writer) error {
 	for _, r := range figureRunners() {
-		t, err := r.fn(opts)
+		t, err := runFigure(r.fn, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.name, err)
 		}
@@ -727,8 +757,17 @@ func All(opts Options, w io.Writer) error {
 }
 
 // ByName returns the runner for a figure id ("2", "13", ... "19", "area",
-// "ablations", or "latency").
+// "ablations", or "latency"). The returned runner folds sampled-sweep
+// summaries into its table like All does.
 func ByName(id string) (func(Options) (*Table, error), bool) {
+	fn, ok := rawByName(id)
+	if !ok {
+		return nil, false
+	}
+	return func(opts Options) (*Table, error) { return runFigure(fn, opts) }, true
+}
+
+func rawByName(id string) (func(Options) (*Table, error), bool) {
 	switch id {
 	case "2", "fig2":
 		return Fig02, true

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// NamedTable pairs a figure id ("fig13", "area", ...) with its regenerated
+// table, for machine-readable report output.
+type NamedTable struct {
+	Name  string `json:"name"`
+	Table *Table `json:"table"`
+}
+
+// AllTables regenerates every figure in paper order (the same set and order
+// as All) and returns the tables instead of rendering them. Sampled sweeps
+// carry their per-point estimates and confidence intervals in
+// Table.Sampling.
+func AllTables(opts Options) ([]NamedTable, error) {
+	rs := figureRunners()
+	out := make([]NamedTable, 0, len(rs))
+	for _, r := range rs {
+		t, err := runFigure(r.fn, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", r.name, err)
+		}
+		out = append(out, NamedTable{Name: r.name, Table: t})
+	}
+	return out, nil
+}
+
+// WriteJSON renders tables as one indented JSON document:
+// {"figures": [{"name": ..., "table": {...}}, ...]}. This is the `sfexp
+// -json` output format.
+func WriteJSON(w io.Writer, tables []NamedTable) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Figures []NamedTable `json:"figures"`
+	}{tables})
+}

@@ -1,0 +1,85 @@
+package sample
+
+import (
+	"streamfloat/internal/config"
+	"streamfloat/internal/stream"
+	"streamfloat/internal/system"
+)
+
+// warmMachine functionally fast-forwards the machine to the start of the
+// detailed window: for every core and phase it replays the memory
+// footprint of the phase's entire skipped prefix (every unsampled
+// iteration preceding the detailed warmup, SMARTS-style) through the
+// warm cache API (cache.WarmShared/WarmPrivate),
+// advancing tag, MESI and replacement state without events, traffic or
+// statistics. Streams the float policy would offload warm only their home
+// L3 banks — floated reads never install private copies — while everything
+// else warms the full private path. Replay order is deterministic: phases
+// ascending, then tiles ascending, then iterations ascending.
+func warmMachine(m *system.Machine, pl *Plan) {
+	numPhases := 0
+	if len(pl.progs) > 0 {
+		numPhases = len(pl.progs[0].Phases)
+	}
+	for phase := 0; phase < numPhases; phase++ {
+		for core := range pl.progs {
+			warmPhaseWindow(m, pl, core, phase)
+		}
+	}
+}
+
+func warmPhaseWindow(m *system.Machine, pl *Plan, core, phase int) {
+	ph := &pl.progs[core].Phases[phase]
+	flo, wlo := pl.funcWarmWindow(core, phase)
+	if flo >= wlo {
+		return
+	}
+	cfg := m.Cfg
+	byID := make(map[int]*stream.Decl, len(ph.Loads))
+	for i := range ph.Loads {
+		byID[ph.Loads[i].ID] = &ph.Loads[i]
+	}
+	for i := flo; i < wlo; i++ {
+		for _, d := range ph.Loads {
+			switch {
+			case d.Affine != nil:
+				addr := d.Affine.AddrAt(i)
+				if wouldFloat(cfg, d) {
+					m.Caches.WarmShared(addr)
+				} else {
+					m.Caches.WarmPrivate(core, addr, false)
+				}
+			case d.Indirect != nil:
+				base := byID[d.BaseOn]
+				if base == nil || base.Affine == nil {
+					continue
+				}
+				idx := m.Backing.ReadU32(base.Affine.AddrAt(i))
+				addr := d.Indirect.AddrFor(uint64(idx))
+				if cfg.FloatIndirect && wouldFloat(cfg, *base) {
+					m.Caches.WarmShared(addr)
+				} else {
+					m.Caches.WarmPrivate(core, addr, false)
+				}
+			}
+		}
+		if ph.SeqLoads != nil {
+			for _, addr := range ph.SeqLoads(i) {
+				m.Caches.WarmPrivate(core, addr, false)
+			}
+		}
+		for _, d := range ph.Stores {
+			m.Caches.WarmPrivate(core, d.Affine.AddrAt(i), true)
+		}
+	}
+}
+
+// wouldFloat mirrors the configure-time float test of the SEcore policy
+// (§IV-D): under stream floating, a known-length affine stream whose
+// footprint exceeds the private L2 floats to the L3. The history-driven
+// late-float path is intentionally not modeled — warmup only needs the
+// steady-state placement of each stream's data.
+func wouldFloat(cfg config.Config, d stream.Decl) bool {
+	return cfg.Stream == config.StreamSF && !d.UnknownLength &&
+		d.Affine != nil && d.FloatFootprintBytes() > int64(cfg.L2.SizeBytes)
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"runtime"
 	"sort"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 
 	"streamfloat/internal/config"
 	"streamfloat/internal/experiments"
+	"streamfloat/internal/sample"
 	"streamfloat/internal/sanitize"
 	"streamfloat/internal/system"
 	"streamfloat/internal/workload"
@@ -31,7 +33,9 @@ type Config struct {
 	QueueDepth int
 	// JobTimeout caps one job's wall-clock time (<= 0 picks 10 minutes).
 	JobTimeout time.Duration
-	// Runner executes one simulation. nil picks system.RunBenchmark; tests
+	// Runner executes one simulation. nil picks sample.Run, which dispatches
+	// on cfg.Sample — full detailed simulation when sampling is disabled,
+	// sampled estimation when a job carries sampling parameters. Tests
 	// substitute stubs to exercise queueing and cancellation deterministically.
 	Runner func(ctx context.Context, cfg config.Config, bench string, scale float64) (system.Results, error)
 }
@@ -119,7 +123,7 @@ func NewServer(cfg Config) *Server {
 		cfg.JobTimeout = 10 * time.Minute
 	}
 	if cfg.Runner == nil {
-		cfg.Runner = system.RunBenchmark
+		cfg.Runner = sample.Run
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -158,6 +162,11 @@ type JobRequest struct {
 	// cluster clients ship arbitrary sweep points; the config is validated
 	// before running.
 	Config *config.Config `json:"config,omitempty"`
+
+	// Sample, when set, selects sampled simulation for the point: the
+	// result is an interval-sampled estimate instead of an exact run, under
+	// its own cache key. It overrides Config.Sample when both are present.
+	Sample *config.SampleParams `json:"sample,omitempty"`
 }
 
 // JobResponse is the POST /run reply.
@@ -208,6 +217,12 @@ func (r JobRequest) resolve() (config.Config, string, float64, error) {
 			}
 			cfg.Sanitize = mode
 		}
+	}
+	if r.Sample != nil {
+		if err := r.Sample.Validate(); err != nil {
+			return config.Config{}, "", 0, err
+		}
+		cfg.Sample = *r.Sample
 	}
 	if r.Benchmark == "" {
 		return config.Config{}, "", 0, fmt.Errorf("benchmark is required (valid: %s)", strings.Join(workload.Names(), ", "))
@@ -319,7 +334,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleFigure regenerates one figure table through the shared result cache:
-// GET /figure/13?scale=0.05&bench=nn,conv3d&format=csv|text|json.
+// GET /figure/13?scale=0.05&bench=nn,conv3d&format=csv|text|json. Sampled
+// regeneration is selected with sample=1 (16 intervals unless overridden by
+// sample-intervals, sample-measure, sample-seed); the table then reports
+// estimates and carries the sampling summary (per-point CIs) in its notes
+// and JSON form.
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
@@ -348,6 +367,12 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opts.Benchmarks = names
+	}
+	if sp, err := sampleQuery(r.URL.Query()); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	} else {
+		opts.Sample = sp
 	}
 	if !s.acquire(w, r) {
 		return
@@ -385,6 +410,58 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, "unknown format (want text, csv, json)", http.StatusBadRequest)
 	}
+}
+
+// sampleQuery parses the /figure sampling query parameters. sample=1 (or
+// any strconv truth value) enables sampling with 16 intervals; the
+// sample-intervals, sample-measure and sample-seed parameters override the
+// plan and imply sample=1 when present.
+func sampleQuery(q url.Values) (config.SampleParams, error) {
+	var sp config.SampleParams
+	enabled := false
+	if v := q.Get("sample"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return sp, fmt.Errorf("bad sample %q", v)
+		}
+		enabled = b
+	}
+	intN := func(name string) (int64, bool, error) {
+		v := q.Get(name)
+		if v == "" {
+			return 0, false, nil
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, false, fmt.Errorf("bad %s %q", name, v)
+		}
+		return n, true, nil
+	}
+	k, kSet, err := intN("sample-intervals")
+	if err != nil {
+		return sp, err
+	}
+	m, mSet, err := intN("sample-measure")
+	if err != nil {
+		return sp, err
+	}
+	seed, seedSet, err := intN("sample-seed")
+	if err != nil {
+		return sp, err
+	}
+	if !enabled && !kSet && !mSet && !seedSet {
+		return sp, nil
+	}
+	sp.Intervals = 16
+	if kSet {
+		sp.Intervals = int(k)
+	}
+	sp.Measure = int(m)
+	sp.Seed = seed
+	if err := sp.Validate(); err != nil {
+		return config.SampleParams{}, err
+	}
+	return sp, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

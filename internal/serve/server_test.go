@@ -307,7 +307,7 @@ func TestServerFigure(t *testing.T) {
 		t.Errorf("/figure/13 csv: %d\n%s", code, body)
 	}
 	code, body = get("/figure/13?scale=0.05&bench=nn&format=json")
-	if code != http.StatusOK || !strings.Contains(body, "\"Title\"") {
+	if code != http.StatusOK || !strings.Contains(body, "\"title\"") {
 		t.Errorf("/figure/13 json: %d\n%s", code, body)
 	}
 	// The three renders hit the same simulation points: everything after the
@@ -324,6 +324,67 @@ func TestServerFigure(t *testing.T) {
 	}
 	if code, _ := get("/figure/13?bench=typo"); code != http.StatusBadRequest {
 		t.Errorf("bad bench = %d, want 400", code)
+	}
+}
+
+// TestServerSampledRun: a job carrying sampling parameters runs the sampled
+// estimator under its own cache key (so sampled estimates can never serve a
+// full-fidelity request), and a sampled figure render carries the sampling
+// footnote.
+func TestServerSampledRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	full := JobRequest{System: "SF", Core: "OOO8", Benchmark: "nn", Scale: 0.05}
+	sampled := full
+	sampled.Sample = &config.SampleParams{Intervals: 8, Measure: 2}
+
+	resp, data := postRun(t, ts.URL, full)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full run: %d %s", resp.StatusCode, data)
+	}
+	var fr JobResponse
+	if err := json.Unmarshal(data, &fr); err != nil {
+		t.Fatal(err)
+	}
+	resp, data = postRun(t, ts.URL, sampled)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sampled run: %d %s", resp.StatusCode, data)
+	}
+	var sr JobResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Key == fr.Key {
+		t.Error("sampled job shares the full run's cache key")
+	}
+	if sr.Cached {
+		t.Error("fresh sampled job reported cached")
+	}
+	fc, sc := float64(fr.Results.Stats.Cycles), float64(sr.Results.Stats.Cycles)
+	if sc == 0 || sc < fc/2 || sc > fc*2 {
+		t.Errorf("sampled estimate %v implausible vs full %v", sc, fc)
+	}
+
+	bad := full
+	bad.Sample = &config.SampleParams{Intervals: -1}
+	if resp, _ := postRun(t, ts.URL, bad); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad sampling params = %d, want 400", resp.StatusCode)
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(data)
+	}
+	code, body := get("/figure/14?scale=0.05&bench=nn&sample-intervals=8&sample-measure=2")
+	if code != http.StatusOK || !strings.Contains(body, "sampled simulation") {
+		t.Errorf("sampled /figure/14: %d\n%s", code, body)
+	}
+	if code, _ := get("/figure/14?sample=zzz"); code != http.StatusBadRequest {
+		t.Errorf("bad sample query = %d, want 400", code)
 	}
 }
 

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func close(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 ||
+		w.StdErr() != 0 || w.CI95() != 0 {
+		t.Errorf("zero-value accumulator reports nonzero statistics: %+v", w)
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Add(42.5)
+	if w.N() != 1 {
+		t.Fatalf("N = %d, want 1", w.N())
+	}
+	if w.Mean() != 42.5 {
+		t.Errorf("Mean = %v, want 42.5", w.Mean())
+	}
+	// With one observation the sample variance is undefined; the
+	// accumulator must report zero, not NaN, so callers can render a
+	// point estimate without special-casing.
+	if w.Variance() != 0 || w.StdErr() != 0 || w.CI95() != 0 {
+		t.Errorf("single observation should have zero variance/SE/CI, got %v/%v/%v",
+			w.Variance(), w.StdErr(), w.CI95())
+	}
+}
+
+func TestWelfordConstantSeries(t *testing.T) {
+	var w Welford
+	for i := 0; i < 1000; i++ {
+		w.Add(1e12 + 7) // large magnitude stresses cancellation
+	}
+	if !close(w.Mean(), 1e12+7) {
+		t.Errorf("Mean = %v, want 1e12+7", w.Mean())
+	}
+	if w.Variance() != 0 {
+		t.Errorf("constant series has Variance = %v, want exactly 0", w.Variance())
+	}
+	if w.CI95() != 0 {
+		t.Errorf("constant series has CI95 = %v, want 0", w.CI95())
+	}
+}
+
+func TestWelfordKnownSeries(t *testing.T) {
+	// 2, 4, 4, 4, 5, 5, 7, 9: mean 5, population variance 4, sample
+	// variance 32/7.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if !close(w.Mean(), 5) {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	if !close(w.Variance(), 32.0/7) {
+		t.Errorf("Variance = %v, want %v", w.Variance(), 32.0/7)
+	}
+	if !close(w.StdErr(), math.Sqrt(32.0/7/8)) {
+		t.Errorf("StdErr = %v, want %v", w.StdErr(), math.Sqrt(32.0/7/8))
+	}
+	want := 2.365 * math.Sqrt(32.0/7/8) // t(df=7) = 2.365
+	if !close(w.CI95(), want) {
+		t.Errorf("CI95 = %v, want %v", w.CI95(), want)
+	}
+}
+
+// TestWelfordMerge: merging partial accumulators must match feeding the
+// concatenated series into one accumulator, for every split point including
+// the degenerate empty-left and empty-right splits.
+func TestWelfordMerge(t *testing.T) {
+	xs := []float64{3.5, -2, 0, 19, 7.25, 7.25, -100, 42, 0.001, 12}
+	var whole Welford
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for split := 0; split <= len(xs); split++ {
+		var a, b Welford
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != whole.N() {
+			t.Fatalf("split %d: N = %d, want %d", split, a.N(), whole.N())
+		}
+		if !close(a.Mean(), whole.Mean()) {
+			t.Errorf("split %d: Mean = %v, want %v", split, a.Mean(), whole.Mean())
+		}
+		if !close(a.Variance(), whole.Variance()) {
+			t.Errorf("split %d: Variance = %v, want %v", split, a.Variance(), whole.Variance())
+		}
+	}
+}
+
+func TestTInv975(t *testing.T) {
+	cases := []struct {
+		df   int64
+		want float64
+	}{
+		{-1, 12.706}, // clamped to the most conservative value
+		{0, 12.706},
+		{1, 12.706},
+		{2, 4.303},
+		{10, 2.228},
+		{30, 2.042},
+		{31, 1.96}, // normal approximation beyond the table
+		{1000, 1.96},
+	}
+	for _, c := range cases {
+		if got := TInv975(c.df); got != c.want {
+			t.Errorf("TInv975(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	// The table must be monotonically decreasing toward 1.96.
+	for i := 1; i < len(tInv975); i++ {
+		if tInv975[i] >= tInv975[i-1] {
+			t.Errorf("t table not decreasing at df=%d", i+1)
+		}
+	}
+	if tInv975[len(tInv975)-1] <= 1.96 {
+		t.Error("t table ends at or below the normal critical value")
+	}
+}

@@ -148,6 +148,24 @@ type Decl struct {
 	// configure time (data-dependent loop bounds); these cannot be floated
 	// eagerly and rely on the history-table policy of §IV-D.
 	UnknownLength bool
+
+	// FootprintHint, when positive, overrides the affine pattern's computed
+	// footprint for the float policy's capacity test. Sampled simulation
+	// sets it on sliced streams: an interval's slice of a large stream has a
+	// small footprint, but the float decision must match the full run's.
+	FootprintHint int64
+}
+
+// FloatFootprintBytes is the footprint the float policy compares against
+// private-cache capacity: the hint when set, else the affine span.
+func (d Decl) FloatFootprintBytes() int64 {
+	if d.FootprintHint > 0 {
+		return d.FootprintHint
+	}
+	if d.Affine != nil {
+		return d.Affine.FootprintBytes()
+	}
+	return 0
 }
 
 // IsIndirect reports whether the stream is an indirect (dependent) stream.

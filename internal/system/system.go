@@ -53,8 +53,20 @@ type Machine struct {
 	// tracing is off (the default — tracing is opt-in per machine).
 	Tr *trace.Tracer
 
+	// phaseHook, when set, fires as each phase completes (all cores at the
+	// barrier, before barrier latency is applied) with the completion cycle
+	// and a snapshot of the statistics. Sampled simulation uses it to
+	// attribute cycles and counters to warmup vs. measured phases.
+	phaseHook func(phase int, now event.Cycle, snap stats.Stats)
+
 	bench     string
 	numPhases int
+}
+
+// SetPhaseHook installs the per-phase completion observer. Call before Run;
+// nil detaches. Purely observational.
+func (m *Machine) SetPhaseHook(fn func(phase int, now event.Cycle, snap stats.Stats)) {
+	m.phaseHook = fn
 }
 
 // NewTracer sizes a tracer for a machine configuration. label names the
@@ -92,14 +104,28 @@ func Build(cfg config.Config, bench string, scale float64) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	bk := mem.NewBacking()
+	progs := kernel.Prepare(bk, cfg.Tiles(), scale)
+	return BuildPrepared(cfg, bench, bk, progs)
+}
+
+// BuildPrepared constructs the machine around an already-prepared workload:
+// a populated backing store and per-core programs. It is the entry point for
+// callers that rewrite programs before simulation — the sampled-simulation
+// planner slices each phase's iteration space and shares one backing store
+// across the per-interval machines (detailed runs never mutate the backing;
+// stores are timing-only). Build delegates here after preparing the named
+// kernel itself.
+func BuildPrepared(cfg config.Config, bench string, bk *mem.Backing, progs []workload.Program) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	eng := event.New()
 	st := &stats.Stats{}
 	mesh := noc.New(eng, st, cfg.MeshWidth, cfg.MeshHeight, cfg.LinkBits, cfg.RouterLatency, cfg.LinkLatency)
 	dram := mem.NewDRAM(eng, st, cfg.DRAMLatency, cfg.DRAMBandwidthBpc, cfg.MemControllerTiles())
 	caches := cache.NewSystem(eng, st, cfg, mesh, dram)
-	bk := mem.NewBacking()
 
-	progs := kernel.Prepare(bk, cfg.Tiles(), scale)
 	if len(progs) != cfg.Tiles() {
 		return nil, fmt.Errorf("system: %s produced %d programs for %d cores", bench, len(progs), cfg.Tiles())
 	}
@@ -204,6 +230,9 @@ func (m *Machine) RunContext(ctx context.Context, maxCycles event.Cycle) (Result
 			c.BeginPhase(k, func() {
 				remaining--
 				if remaining == 0 {
+					if m.phaseHook != nil {
+						m.phaseHook(k, m.Eng.Now(), *m.St)
+					}
 					if m.Tr != nil {
 						m.Tr.Emit(uint64(m.Eng.Now()), 0, trace.KindBarrier, 0,
 							int64(k), int64(m.barrierLatency()))

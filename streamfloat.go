@@ -23,6 +23,7 @@ import (
 	"streamfloat/internal/energy"
 	"streamfloat/internal/event"
 	"streamfloat/internal/experiments"
+	"streamfloat/internal/sample"
 	"streamfloat/internal/sanitize"
 	"streamfloat/internal/system"
 	"streamfloat/internal/trace"
@@ -123,6 +124,27 @@ func RunContext(ctx context.Context, cfg Config, benchmark string, scale float64
 	return system.RunBenchmark(ctx, cfg, benchmark, scale)
 }
 
+// SampleParams selects sampled simulation (set Config.Sample): each kernel
+// phase is partitioned into K intervals, a seeded block of them is simulated
+// in detail after functional fast-forward, and the block's statistics are
+// extrapolated into whole-run estimates with 95% confidence intervals.
+type SampleParams = config.SampleParams
+
+// SampleResult is a sampled simulation's outcome: extrapolated Results plus
+// per-metric estimates with confidence intervals and the work reduction.
+type SampleResult = sample.Result
+
+// SampleEstimate is one estimated metric: mean, 95% half-width, and the
+// number of measured intervals behind it.
+type SampleEstimate = sample.Estimate
+
+// RunSampled runs one benchmark under cfg.Sample's sampling plan and
+// returns the full estimate. With sampling disabled it falls back to the
+// exact simulation (zero-width intervals).
+func RunSampled(ctx context.Context, cfg Config, benchmark string, scale float64) (*SampleResult, error) {
+	return sample.RunEstimate(ctx, cfg, benchmark, scale)
+}
+
 // ParseBenchmarks parses a comma-separated benchmark list (as accepted by
 // the sfexp/sfserve -bench inputs): names are whitespace-trimmed and
 // validated against the registered suite up front, so typos are reported
@@ -184,6 +206,22 @@ func AllExperiments(opts ExperimentOptions, w io.Writer) error {
 
 // ExperimentNames lists every figure id AllExperiments renders, in order.
 func ExperimentNames() []string { return experiments.Names() }
+
+// NamedExperimentTable pairs a figure id with its regenerated table.
+type NamedExperimentTable = experiments.NamedTable
+
+// AllExperimentTables regenerates every figure (the AllExperiments set) and
+// returns the tables instead of rendering them.
+func AllExperimentTables(opts ExperimentOptions) ([]NamedExperimentTable, error) {
+	return experiments.AllTables(opts)
+}
+
+// WriteExperimentsJSON renders tables as one machine-readable JSON document
+// — the sfexp -json output format. Sampled sweeps carry their per-point
+// estimates and confidence intervals under each table's "sampling" key.
+func WriteExperimentsJSON(w io.Writer, tables []NamedExperimentTable) error {
+	return experiments.WriteJSON(w, tables)
+}
 
 // WriteExperimentCSVs regenerates every figure and writes one CSV per
 // figure into dir (created if missing), named <figure>.csv.
