@@ -47,6 +47,7 @@ func run() (err error) {
 		benches   = flag.String("bench", "", "comma-separated benchmark subset (default: all 12)")
 		outPath   = flag.String("out", "", "write results to a file instead of stdout (with -fig all -csv: a directory)")
 		par       = flag.Int("par", 0, "parallel simulations (0 or negative = GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "parallel shard workers per simulation (results are bit-identical for every value; -par is derated so par x workers fits GOMAXPROCS)")
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of an aligned table (with -fig all: one CSV per figure into -out)")
 		asJSON    = flag.Bool("json", false, "emit one machine-readable JSON report instead of aligned tables")
 		doSample  = flag.Bool("sample", false, "sampled simulation: estimate each point from a measured interval block (reported with 95% CIs)")
@@ -87,7 +88,7 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
-	opts := streamfloat.ExperimentOptions{Scale: *scale, Parallelism: *par, Sanitize: sanMode}
+	opts := streamfloat.ExperimentOptions{Scale: *scale, Parallelism: *par, Workers: *workers, Sanitize: sanMode}
 	if *doSample {
 		opts.Sample = streamfloat.SampleParams{Intervals: *sampleK, Measure: *sampleM, Seed: *sampleSd}
 		if err := opts.Sample.Validate(); err != nil {

@@ -16,24 +16,25 @@ import (
 // latency; per-line transient races are thereby serialized by the event
 // loop, which preserves message counts — the quantity the paper measures.
 func (s *System) bankHandle(bank int, la uint64, reqTile int, excl bool, l3kind stats.L3ReqKind, p *trace.LoadProbe, respond func(granted state, now event.Cycle)) {
-	s.eng.Schedule(event.Cycle(s.cfg.L3.LatCycles), func(event.Cycle) {
-		s.st.L3Requests[l3kind]++
+	st := s.stAt(bank)
+	s.engAt(bank).Schedule(event.Cycle(s.cfg.L3.LatCycles), func(now event.Cycle) {
+		st.L3Requests[l3kind]++
 		l := s.banks[bank].lookup(la)
 		if s.tr != nil {
 			s.tr.CacheAccess(bank, 3, l != nil)
 		}
 		if l == nil {
-			s.st.L3Misses++
+			st.L3Misses++
 			if s.tr != nil {
-				s.tr.Emit(uint64(s.eng.Now()), bank, trace.KindL3Miss, la, int64(reqTile), int64(l3kind))
+				s.tr.Emit(uint64(now), bank, trace.KindL3Miss, la, int64(reqTile), int64(l3kind))
 			}
 			if p != nil {
-				p.DRAMStart = uint64(s.eng.Now())
+				p.DRAMStart = uint64(now)
 				p.Level = trace.LevelDRAM
 			}
 			s.dramFill(bank, la, func() {
 				if p != nil {
-					p.DRAMEnd = uint64(s.eng.Now())
+					p.DRAMEnd = uint64(s.engAt(bank).Now())
 				}
 				// Re-lookup: the fill installed the line.
 				if fresh := s.banks[bank].lookup(la); fresh != nil {
@@ -48,7 +49,7 @@ func (s *System) bankHandle(bank int, la uint64, reqTile int, excl bool, l3kind 
 			})
 			return
 		}
-		s.st.L3Hits++
+		st.L3Hits++
 		if p != nil && p.Level == trace.LevelMerged {
 			p.Level = trace.LevelL3
 		}
@@ -56,6 +57,17 @@ func (s *System) bankHandle(bank int, la uint64, reqTile int, excl bool, l3kind 
 		s.bankHitChecked(bank, l, la, reqTile, excl, respond)
 	})
 }
+
+// runInvAck sends the invalidation acknowledgement for a remote-sharer
+// drop: fired at the inv's arrival, so the ack is injected from the acking
+// tile's own execution context. Ref carries A=ackingTile, B=bank.
+func runInvAck(_ event.Cycle, ref event.Ref) {
+	s := ref.Obj.(*System)
+	s.mesh.SendCall(int(ref.A), int(ref.B), stats.ClassCtrlCoh, 0, runNopDeliver, event.Ref{})
+}
+
+// runNopDeliver is a delivery callback for pure-traffic messages.
+func runNopDeliver(event.Cycle, event.Ref) {}
 
 func grantFor(excl, exclusiveOK bool) state {
 	if excl {
@@ -79,14 +91,24 @@ func (s *System) bankHit(bank int, l *line, la uint64, reqTile int, excl bool, r
 		}
 		granted := stModified
 		upgrade := l.sharers&reqBit != 0
-		// Invalidate all other sharers (inv + ack pairs).
+		// Invalidate all other sharers (inv + ack pairs). Remote copies on
+		// other shards are dropped at the quantum barrier.
 		for t := 0; t < s.cfg.Tiles(); t++ {
 			if t == reqTile || l.sharers&(1<<uint(t)) == 0 {
 				continue
 			}
-			s.invalidatePrivate(t, la)
-			s.mesh.Send(bank, t, stats.ClassCtrlCoh, 0, func(event.Cycle) {})
-			s.mesh.Send(t, bank, stats.ClassCtrlCoh, 0, func(event.Cycle) {})
+			s.dropPrivate(bank, t, la)
+			if s.tileShard == nil {
+				s.mesh.Send(bank, t, stats.ClassCtrlCoh, 0, func(event.Cycle) {})
+				s.mesh.Send(t, bank, stats.ClassCtrlCoh, 0, func(event.Cycle) {})
+				continue
+			}
+			// Partitioned: the ack injection belongs to tile t's shard —
+			// issuing it here would touch t's engine and message pools from
+			// the bank's execution context. Ride the invalidation instead:
+			// the ack departs when the inv arrives at t.
+			s.mesh.SendCall(bank, t, stats.ClassCtrlCoh, 0, runInvAck,
+				event.Ref{Obj: s, A: int64(t), B: int64(bank)})
 		}
 		if owner >= 0 && owner != reqTile {
 			// Owner forwards the (possibly dirty) data to the requester.
@@ -140,7 +162,7 @@ func (s *System) bankHit(bank int, l *line, la uint64, reqTile int, excl bool, r
 // been accessed. A dirty copy also writes back to the bank.
 func (s *System) ownerForward(bank, owner int, la uint64, invalidate bool, then func(event.Cycle)) {
 	s.mesh.Send(bank, owner, stats.ClassCtrlCoh, 0, func(event.Cycle) {
-		s.eng.Schedule(event.Cycle(s.cfg.L2.LatCycles), func(now event.Cycle) {
+		s.engAt(owner).Schedule(event.Cycle(s.cfg.L2.LatCycles), func(now event.Cycle) {
 			tc := s.tiles[owner]
 			dirty := false
 			if l2 := tc.l2.lookup(la); l2 != nil {
@@ -156,9 +178,17 @@ func (s *System) ownerForward(bank, owner int, la uint64, invalidate bool, then 
 				}
 			}
 			if dirty {
-				// Writeback to the bank so L3 holds the latest data.
-				if dl := s.banks[bank].lookup(la); dl != nil {
-					dl.dirty = true
+				// Writeback to the bank so L3 holds the latest data (the
+				// directory bit flips at the barrier when the bank lives on
+				// another shard).
+				if s.tileShard == nil {
+					if dl := s.banks[bank].lookup(la); dl != nil {
+						dl.dirty = true
+					}
+				} else {
+					op := s.getCoh(owner)
+					op.s, op.bank, op.la = s, bank, la
+					s.deferCoh(owner, runBankDirty, op)
 				}
 				s.mesh.Send(owner, bank, stats.ClassData, lineSize, func(event.Cycle) {})
 			}
@@ -177,6 +207,18 @@ func (s *System) invalidatePrivate(tile int, la uint64) {
 	if l2 := tc.l2.lookup(la); l2 != nil {
 		tc.l2.invalidate(l2)
 	}
+}
+
+// dropPrivate invalidates a tile's private copy on behalf of a bank:
+// immediately when unpartitioned, at the quantum barrier otherwise.
+func (s *System) dropPrivate(bank, tile int, la uint64) {
+	if s.tileShard == nil {
+		s.invalidatePrivate(tile, la)
+		return
+	}
+	op := s.getCoh(bank)
+	op.s, op.tile, op.la = s, tile, la
+	s.deferCoh(bank, runInvalidate, op)
 }
 
 // dramFill fetches la from memory into the bank, evicting an L3 victim
@@ -224,27 +266,43 @@ func (s *System) installL3(bank int, la uint64) {
 func (s *System) evictL3(bank int, victim *line) {
 	va := victim.addr
 	dirty := victim.dirty
-	s.traceEvict("l3", bank, victim)
+	s.traceEvict("l3", bank, victim, s.engAt(bank).Now())
 	if s.tr != nil {
 		var a int64
 		if dirty {
 			a = 1
 		}
-		s.tr.Emit(uint64(s.eng.Now()), bank, trace.KindL3Evict, va, a, int64(victim.owner))
+		s.tr.Emit(uint64(s.engAt(bank).Now()), bank, trace.KindL3Evict, va, a, int64(victim.owner))
 	}
-	if victim.owner >= 0 {
-		o := int(victim.owner)
-		tc := s.tiles[o]
+	if s.tileShard != nil {
+		// Partitioned: the owner probe and back-invalidations touch other
+		// tiles' private caches — run the whole flush at the quantum barrier.
+		op := s.getCoh(bank)
+		op.s, op.bank, op.tile, op.la, op.flag, op.bits = s, bank, int(victim.owner), va, dirty, victim.sharers
+		s.deferCoh(bank, runEvictL3Flush, op)
+		s.banks[bank].invalidate(victim)
+		return
+	}
+	s.evictL3Flush(bank, int(victim.owner), victim.sharers, va, dirty)
+	s.banks[bank].invalidate(victim)
+}
+
+// evictL3Flush performs the cross-tile part of a bank eviction: dirty-owner
+// writeback probe, inclusive back-invalidation of every private copy the
+// directory names, and the DRAM write if the line ends dirty.
+func (s *System) evictL3Flush(bank, owner int, sharers uint64, va uint64, dirty bool) {
+	if owner >= 0 {
+		tc := s.tiles[owner]
 		if l2 := tc.l2.lookup(va); l2 != nil && (l2.dirty || l2.state == stModified) {
 			dirty = true
-			s.mesh.Send(o, bank, stats.ClassData, lineSize, func(event.Cycle) {})
+			s.mesh.Send(owner, bank, stats.ClassData, lineSize, func(event.Cycle) {})
 		}
-		s.invalidatePrivate(o, va)
-		s.mesh.Send(bank, o, stats.ClassCtrlCoh, 0, func(event.Cycle) {})
-		s.mesh.Send(o, bank, stats.ClassCtrlCoh, 0, func(event.Cycle) {})
+		s.invalidatePrivate(owner, va)
+		s.mesh.Send(bank, owner, stats.ClassCtrlCoh, 0, func(event.Cycle) {})
+		s.mesh.Send(owner, bank, stats.ClassCtrlCoh, 0, func(event.Cycle) {})
 	}
 	for t := 0; t < s.cfg.Tiles(); t++ {
-		if victim.sharers&(1<<uint(t)) == 0 {
+		if sharers&(1<<uint(t)) == 0 {
 			continue
 		}
 		s.invalidatePrivate(t, va)
@@ -253,10 +311,24 @@ func (s *System) evictL3(bank int, victim *line) {
 	}
 	if dirty {
 		ctrlTile := s.dram.CtrlTile(s.dram.CtrlFor(va))
-		s.mesh.Send(bank, ctrlTile, stats.ClassData, lineSize, func(event.Cycle) {})
-		s.dram.Access(va, lineSize, true, func(event.Cycle) {})
+		if s.tileShard == nil {
+			s.mesh.Send(bank, ctrlTile, stats.ClassData, lineSize, func(event.Cycle) {})
+			s.dram.Access(va, lineSize, true, func(event.Cycle) {})
+		} else {
+			// The controller's queue belongs to its hosting tile's shard;
+			// reserve bandwidth when the writeback message arrives there.
+			s.mesh.Send(bank, ctrlTile, stats.ClassData, lineSize, func(event.Cycle) {
+				s.dram.Access(va, lineSize, true, func(event.Cycle) {})
+			})
+		}
 	}
-	s.banks[bank].invalidate(victim)
+}
+
+// runEvictL3Flush is the barrier-op form of evictL3Flush.
+func runEvictL3Flush(_ event.Cycle, arg any) {
+	op := arg.(*cohOp)
+	op.s.evictL3Flush(op.bank, op.tile, op.bits, op.la, op.flag)
+	op.s.putCoh(op)
 }
 
 // FloatRead services an SE_L3-issued stream read at a bank: a GetU access
@@ -267,8 +339,9 @@ func (s *System) evictL3(bank int, victim *line) {
 // available at the bank (used by the operands table to chain indirect
 // accesses); deliver fires once per destination at arrival.
 func (s *System) FloatRead(bank int, la uint64, dsts []int, l3kind stats.L3ReqKind, payloadBytes int, onBankReady func(event.Cycle), deliver func(dst int, now event.Cycle)) {
-	s.eng.Schedule(event.Cycle(s.cfg.L3.LatCycles), func(event.Cycle) {
-		s.st.L3Requests[l3kind]++
+	st := s.stAt(bank)
+	s.engAt(bank).Schedule(event.Cycle(s.cfg.L3.LatCycles), func(now event.Cycle) {
+		st.L3Requests[l3kind]++
 		l := s.banks[bank].lookup(la)
 		if s.chk != nil && l != nil {
 			// GetU must never touch the sharer vector or ownership (§IV-A):
@@ -276,7 +349,7 @@ func (s *System) FloatRead(bank int, la uint64, dsts []int, l3kind stats.L3ReqKi
 			// whatever path it takes. Later demand accesses may legally
 			// mutate the entry, so the window is exactly this event.
 			s.chk.Trace(sanitize.Record{
-				Cycle: uint64(s.eng.Now()), Tile: dsts[0], Comp: "l3dir", Event: "getu",
+				Cycle: uint64(now), Tile: dsts[0], Comp: "l3dir", Event: "getu",
 				Key: la, A: int64(l.sharers), B: int64(l.owner),
 			})
 			ow, sh := l.owner, l.sharers
@@ -289,7 +362,7 @@ func (s *System) FloatRead(bank int, la uint64, dsts []int, l3kind stats.L3ReqKi
 		}
 		send := func() {
 			if onBankReady != nil {
-				onBankReady(s.eng.Now())
+				onBankReady(s.engAt(bank).Now())
 			}
 			s.mesh.Multicast(bank, dsts, stats.ClassData, payloadBytes, deliver)
 		}
@@ -297,22 +370,30 @@ func (s *System) FloatRead(bank int, la uint64, dsts []int, l3kind stats.L3ReqKi
 			s.tr.CacheAccess(bank, 3, l != nil)
 		}
 		if l == nil {
-			s.st.L3Misses++
+			st.L3Misses++
 			if s.tr != nil {
-				s.tr.Emit(uint64(s.eng.Now()), bank, trace.KindL3Miss, la, int64(dsts[0]), int64(l3kind))
+				s.tr.Emit(uint64(now), bank, trace.KindL3Miss, la, int64(dsts[0]), int64(l3kind))
 			}
 			s.dramFill(bank, la, send)
 			return
 		}
-		s.st.L3Hits++
+		st.L3Hits++
 		s.banks[bank].touch(l)
 		if o := int(l.owner); o >= 0 && !containsTile(dsts, o) {
 			// Another L2 owns the line: it forwards the data without
 			// changing its own state (Fig 12c).
 			s.mesh.Send(bank, o, stats.ClassCtrlCoh, 0, func(event.Cycle) {
-				s.eng.Schedule(event.Cycle(s.cfg.L2.LatCycles), func(now event.Cycle) {
+				s.engAt(o).Schedule(event.Cycle(s.cfg.L2.LatCycles), func(now event.Cycle) {
 					if onBankReady != nil {
-						onBankReady(now)
+						if s.tileShard == nil {
+							onBankReady(now)
+						} else {
+							// The ready hook mutates bank-side state (the
+							// operands table); partitioned, the owner copies
+							// the index data back so the hook fires in the
+							// bank's own execution context.
+							s.mesh.Send(o, bank, stats.ClassCtrlCoh, 0, onBankReady)
+						}
 					}
 					s.mesh.Multicast(o, dsts, stats.ClassData, payloadBytes, deliver)
 				})

@@ -72,7 +72,7 @@ func (s *System) bankHitChecked(bank int, l *line, la uint64, reqTile int, excl 
 			ev = "getx"
 		}
 		s.chk.Trace(sanitize.Record{
-			Cycle: uint64(s.eng.Now()), Tile: reqTile, Comp: "l3dir", Event: ev,
+			Cycle: uint64(s.engAt(bank).Now()), Tile: reqTile, Comp: "l3dir", Event: ev,
 			Key: la, A: int64(l.sharers), B: int64(l.owner),
 		})
 		s.checkDirectoryLine(bank, la, l, "pre:"+ev)
@@ -83,7 +83,7 @@ func (s *System) bankHitChecked(bank int, l *line, la uint64, reqTile int, excl 
 
 // traceEvict records a private- or shared-cache eviction for violation
 // dumps. lvl is "l2" or "l3".
-func (s *System) traceEvict(lvl string, tile int, victim *line) {
+func (s *System) traceEvict(lvl string, tile int, victim *line, now event.Cycle) {
 	if s.chk == nil {
 		return
 	}
@@ -92,18 +92,18 @@ func (s *System) traceEvict(lvl string, tile int, victim *line) {
 		dirty = 1
 	}
 	s.chk.Trace(sanitize.Record{
-		Cycle: uint64(s.eng.Now()), Tile: tile, Comp: lvl, Event: "evict",
+		Cycle: uint64(now), Tile: tile, Comp: lvl, Event: "evict",
 		Key: victim.addr, A: int64(victim.state), B: dirty,
 	})
 }
 
 // traceFill records a private-cache fill completion.
-func (s *System) traceFill(tile int, la uint64, granted state) {
+func (s *System) traceFill(tile int, la uint64, granted state, now event.Cycle) {
 	if s.chk == nil {
 		return
 	}
 	s.chk.Trace(sanitize.Record{
-		Cycle: uint64(s.eng.Now()), Tile: tile, Comp: "l2", Event: "fill:" + granted.String(),
+		Cycle: uint64(now), Tile: tile, Comp: "l2", Event: "fill:" + granted.String(),
 		Key: la, A: int64(granted),
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"streamfloat/internal/event"
 	"streamfloat/internal/mem"
 	"streamfloat/internal/noc"
+	"streamfloat/internal/par"
 	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
 	"streamfloat/internal/trace"
@@ -67,32 +68,121 @@ type accessOp struct {
 
 var accessOpPool = sync.Pool{New: func() any { return new(accessOp) }}
 
-func putAccessOp(op *accessOp) {
-	*op = accessOp{} // drop done/probe references before pooling
-	accessOpPool.Put(op)
+// getOp pops a pooled accessOp for an access issued at tile. Partitioned
+// machines use per-shard freelists (get and put both happen in the tile's
+// shard context, so no locking); unpartitioned machines keep the sync.Pool.
+func (s *System) getOp(tile int) *accessOp {
+	if s.tileShard == nil {
+		return accessOpPool.Get().(*accessOp)
+	}
+	si := s.shardIdx[tile]
+	free := s.opFree[si]
+	if n := len(free); n > 0 {
+		op := free[n-1]
+		s.opFree[si] = free[:n-1]
+		return op
+	}
+	return new(accessOp)
+}
+
+// putOp returns an op to its pool. Always called in op.tile's execution
+// context (the terminal stage of every access path runs at the issuing tile).
+func (s *System) putOp(op *accessOp) {
+	if s.tileShard == nil {
+		*op = accessOp{} // drop done/probe references before pooling
+		accessOpPool.Put(op)
+		return
+	}
+	si := s.shardIdx[op.tile]
+	*op = accessOp{}
+	s.opFree[si] = append(s.opFree[si], op)
+}
+
+// cohOp is one deferred cross-tile coherence action (remote invalidation,
+// remote directory update, L3-eviction flush). Pooled per shard like
+// accessOp; si remembers the owning freelist.
+type cohOp struct {
+	s    *System
+	si   int
+	bank int
+	tile int
+	la   uint64
+	flag bool
+	bits uint64
+}
+
+func (s *System) getCoh(issueTile int) *cohOp {
+	si := s.shardIdx[issueTile]
+	free := s.cohFree[si]
+	if n := len(free); n > 0 {
+		op := free[n-1]
+		s.cohFree[si] = free[:n-1]
+		op.si = si
+		return op
+	}
+	return &cohOp{si: si}
+}
+
+func (s *System) putCoh(op *cohOp) {
+	si := op.si
+	*op = cohOp{}
+	s.cohFree[si] = append(s.cohFree[si], op)
+}
+
+// deferCoh logs op for execution at the quantum barrier, issued by
+// issueTile at its current cycle.
+func (s *System) deferCoh(issueTile int, call func(event.Cycle, any), op *cohOp) {
+	sh := s.tileShard[issueTile]
+	sh.Defer(sh.Eng.Now(), issueTile, call, op)
+}
+
+// Partition switches the hierarchy to sharded operation. Call once at
+// machine construction, before any accesses.
+func (s *System) Partition(tileShard []*par.Shard, shardIdx []int, numShards int) {
+	s.tileShard = tileShard
+	s.shardIdx = shardIdx
+	s.opFree = make([][]*accessOp, numShards)
+	s.cohFree = make([][]*cohOp, numShards)
+}
+
+// engAt returns the engine driving a tile's shard (the shared engine when
+// unpartitioned).
+func (s *System) engAt(tile int) *event.Engine {
+	if s.tileShard != nil {
+		return s.tileShard[tile].Eng
+	}
+	return s.eng
+}
+
+// stAt returns the stats shard a tile accumulates into.
+func (s *System) stAt(tile int) *stats.Stats {
+	if s.tileShard != nil {
+		return s.tileShard[tile].St
+	}
+	return s.st
 }
 
 // Stage handlers for the fixed-payload scheduling form: one per pipeline
 // stage, each pulling its access from the event's Ref.
-func runLoadAfterL1(_ event.Cycle, ref event.Ref) {
+func runLoadAfterL1(now event.Cycle, ref event.Ref) {
 	op := ref.Obj.(*accessOp)
-	op.s.loadAfterL1(op)
+	op.s.loadAfterL1(op, now)
 }
 
-func runLoadAfterL2(_ event.Cycle, ref event.Ref) {
+func runLoadAfterL2(now event.Cycle, ref event.Ref) {
 	op := ref.Obj.(*accessOp)
-	op.s.loadAfterL2(op)
+	op.s.loadAfterL2(op, now)
 }
 
-func runStoreAfterL1(_ event.Cycle, ref event.Ref) {
+func runStoreAfterL1(now event.Cycle, ref event.Ref) {
 	op := ref.Obj.(*accessOp)
-	op.s.storeAfterL1(op)
+	op.s.storeAfterL1(op, now)
 }
 
 func runL2Prefetch(_ event.Cycle, ref event.Ref) {
 	op := ref.Obj.(*accessOp)
 	op.s.l2Prefetch(op.tile, op.la, op.meta)
-	putAccessOp(op)
+	op.s.putOp(op)
 }
 
 // complete wakes the access once its fill (own or merged-into) arrives:
@@ -102,8 +192,8 @@ func (op *accessOp) complete(now event.Cycle) {
 	if p := op.meta.Probe; p != nil && op.kind != Write {
 		op.s.tr.FinishLoad(op.tile, p, uint64(now))
 	}
-	op.s.notifyDone(op.done)
-	putAccessOp(op)
+	op.s.notifyDone(op.done, now)
+	op.s.putOp(op)
 }
 
 // System is the full memory hierarchy of the simulated machine.
@@ -119,6 +209,16 @@ type System struct {
 
 	// fillMSHR merges concurrent DRAM fills per bank and line.
 	fillMSHR []map[uint64][]func()
+
+	// Partitioned execution (nil when unpartitioned). Each tile's private
+	// caches, MSHRs and its L3 bank are then owned by the tile's shard and
+	// touched only from its execution context; every cross-tile action (a
+	// directory update at a remote home bank, a remote private-copy
+	// invalidation) is deferred as a barrier op instead of applied inline.
+	tileShard []*par.Shard
+	shardIdx  []int
+	opFree    [][]*accessOp // per-shard accessOp freelists
+	cohFree   [][]*cohOp    // per-shard coherence-op freelists
 
 	// chk, when non-nil, attaches the sanitizer probes (see sanitize.go).
 	chk *sanitize.Checker
@@ -206,36 +306,38 @@ func LineAddr(addr uint64) uint64 { return addr &^ (lineSize - 1) }
 // complete silently.
 func (s *System) Access(tile int, addr uint64, kind Kind, meta Meta, done func(event.Cycle)) {
 	la := LineAddr(addr)
+	eng := s.engAt(tile)
 	// Demand/stream reads entering without a core-attached probe (SEcore
 	// fetches, pointer chases) still get latency attribution when tracing.
 	if s.tr != nil && meta.Probe == nil && done != nil && (kind == Read || kind == StreamRead) {
 		p := s.tr.Probe()
-		now := uint64(s.eng.Now())
+		now := uint64(eng.Now())
 		p.Enq, p.Issue = now, now
 		meta.Probe = p
 	}
-	op := accessOpPool.Get().(*accessOp)
+	op := s.getOp(tile)
 	*op = accessOp{s: s, tile: tile, addr: addr, la: la, kind: kind, meta: meta, done: done}
 	switch kind {
 	case PrefL2:
-		s.eng.ScheduleCall(event.Cycle(s.cfg.L2.LatCycles), runL2Prefetch, event.Ref{Obj: op})
+		eng.ScheduleCall(event.Cycle(s.cfg.L2.LatCycles), runL2Prefetch, event.Ref{Obj: op})
 	case Write:
-		s.eng.ScheduleCall(event.Cycle(s.cfg.L1.LatCycles), runStoreAfterL1, event.Ref{Obj: op})
+		eng.ScheduleCall(event.Cycle(s.cfg.L1.LatCycles), runStoreAfterL1, event.Ref{Obj: op})
 	default: // Read, PrefL1, StreamRead
-		s.eng.ScheduleCall(event.Cycle(s.cfg.L1.LatCycles), runLoadAfterL1, event.Ref{Obj: op})
+		eng.ScheduleCall(event.Cycle(s.cfg.L1.LatCycles), runLoadAfterL1, event.Ref{Obj: op})
 	}
 }
 
-func (s *System) notifyDone(done func(event.Cycle)) {
+func (s *System) notifyDone(done func(event.Cycle), now event.Cycle) {
 	if done != nil {
-		done(s.eng.Now())
+		done(now)
 	}
 }
 
 // loadAfterL1 runs once the L1 tag lookup completes.
-func (s *System) loadAfterL1(op *accessOp) {
+func (s *System) loadAfterL1(op *accessOp, now event.Cycle) {
 	tile, la, kind, meta := op.tile, op.la, op.kind, op.meta
 	tc := s.tiles[tile]
+	st := s.stAt(tile)
 	demand := kind == Read || kind == StreamRead
 	l := tc.l1.lookup(la)
 	if s.l1Observer != nil && demand {
@@ -243,7 +345,7 @@ func (s *System) loadAfterL1(op *accessOp) {
 	}
 	if l != nil {
 		if demand {
-			s.st.L1Hits++
+			st.L1Hits++
 			s.demandHitLine(tile, l)
 			tc.l1.touch(l)
 			if s.tr != nil {
@@ -251,27 +353,26 @@ func (s *System) loadAfterL1(op *accessOp) {
 			}
 		}
 		if p := meta.Probe; p != nil {
-			now := uint64(s.eng.Now())
-			p.L1Done = now
+			p.L1Done = uint64(now)
 			p.Level = trace.LevelL1
-			s.tr.FinishLoad(tile, p, now)
+			s.tr.FinishLoad(tile, p, uint64(now))
 		}
-		s.notifyDone(op.done)
-		putAccessOp(op)
+		s.notifyDone(op.done, now)
+		s.putOp(op)
 		return
 	}
 	if demand {
-		s.st.L1Misses++
+		st.L1Misses++
 		if s.tr != nil {
 			s.tr.CacheAccess(tile, 1, false)
-			s.tr.Emit(uint64(s.eng.Now()), tile, trace.KindL1Miss, la, int64(meta.StreamID), 0)
+			s.tr.Emit(uint64(now), tile, trace.KindL1Miss, la, int64(meta.StreamID), 0)
 		}
 	}
 	if p := meta.Probe; p != nil {
-		p.L1Done = uint64(s.eng.Now())
+		p.L1Done = uint64(now)
 	}
 	// L1 miss: continue to L2 after its lookup latency.
-	s.eng.ScheduleCall(event.Cycle(s.cfg.L2.LatCycles), runLoadAfterL2, event.Ref{Obj: op})
+	s.engAt(tile).ScheduleCall(event.Cycle(s.cfg.L2.LatCycles), runLoadAfterL2, event.Ref{Obj: op})
 }
 
 // demandHitLine updates reuse/prefetch/stream bookkeeping when a demand
@@ -279,7 +380,7 @@ func (s *System) loadAfterL1(op *accessOp) {
 func (s *System) demandHitLine(tile int, l *line) {
 	if l.pf {
 		l.pf = false
-		s.st.PrefetchUseful++
+		s.stAt(tile).PrefetchUseful++
 	}
 	if !l.reused {
 		l.reused = true
@@ -289,18 +390,19 @@ func (s *System) demandHitLine(tile int, l *line) {
 	}
 }
 
-func (s *System) loadAfterL2(op *accessOp) {
+func (s *System) loadAfterL2(op *accessOp, now event.Cycle) {
 	tile, la, kind, meta := op.tile, op.la, op.kind, op.meta
 	tc := s.tiles[tile]
+	st := s.stAt(tile)
 	demand := kind == Read || kind == StreamRead
 	p := meta.Probe
 	if p != nil {
-		p.L2Done = uint64(s.eng.Now())
+		p.L2Done = uint64(now)
 	}
 	l := tc.l2.lookup(la)
 	if l != nil && l.state != stInvalid {
 		if demand {
-			s.st.L2Hits++
+			st.L2Hits++
 			s.demandHitLine(tile, l)
 			tc.l2.touch(l)
 			if s.tr != nil {
@@ -312,20 +414,20 @@ func (s *System) loadAfterL2(op *accessOp) {
 		}
 		if p != nil {
 			p.Level = trace.LevelL2
-			s.tr.FinishLoad(tile, p, uint64(s.eng.Now()))
+			s.tr.FinishLoad(tile, p, uint64(now))
 		}
-		s.notifyDone(op.done)
-		putAccessOp(op)
+		s.notifyDone(op.done, now)
+		s.putOp(op)
 		return
 	}
 	if demand {
-		s.st.L2Misses++
+		st.L2Misses++
 		if s.l2MissObserver != nil {
 			s.l2MissObserver(tile, la, meta.PC)
 		}
 		if s.tr != nil {
 			s.tr.CacheAccess(tile, 2, false)
-			s.tr.Emit(uint64(s.eng.Now()), tile, trace.KindL2Miss, la, int64(meta.StreamID), 0)
+			s.tr.Emit(uint64(now), tile, trace.KindL2Miss, la, int64(meta.StreamID), 0)
 		}
 	}
 	// Merge into an outstanding miss if one exists: the op parks in the MSHR
@@ -344,9 +446,10 @@ func (s *System) loadAfterL2(op *accessOp) {
 }
 
 // storeAfterL1 handles the store path once L1 lookup completes.
-func (s *System) storeAfterL1(op *accessOp) {
+func (s *System) storeAfterL1(op *accessOp, now event.Cycle) {
 	tile, la, meta := op.tile, op.la, op.meta
 	tc := s.tiles[tile]
+	st := s.stAt(tile)
 	l1 := tc.l1.lookup(la)
 	if s.l1Observer != nil {
 		s.l1Observer(tile, op.addr, meta.PC, l1 != nil)
@@ -354,7 +457,7 @@ func (s *System) storeAfterL1(op *accessOp) {
 	l2 := tc.l2.lookup(la)
 	if l2 != nil && (l2.state == stModified || l2.state == stExclusive) {
 		// Writable locally: E upgrades to M silently.
-		s.st.L1Hits++ // store hit from the pipeline's perspective
+		st.L1Hits++ // store hit from the pipeline's perspective
 		if s.tr != nil {
 			s.tr.CacheAccess(tile, 1, true)
 		}
@@ -370,28 +473,28 @@ func (s *System) storeAfterL1(op *accessOp) {
 			l1.dirty = true
 			tc.l1.touch(l1)
 		}
-		s.notifyDone(op.done)
-		putAccessOp(op)
+		s.notifyDone(op.done, now)
+		s.putOp(op)
 		return
 	}
-	s.st.L1Misses++
+	st.L1Misses++
 	if s.tr != nil {
 		s.tr.CacheAccess(tile, 1, false)
 	}
 	// Needs ownership: S upgrade or full RFO miss.
 	if l2 != nil && l2.state == stShared {
-		s.st.L2Hits++
+		st.L2Hits++
 		if s.tr != nil {
 			s.tr.CacheAccess(tile, 2, true)
 		}
 	} else {
-		s.st.L2Misses++
+		st.L2Misses++
 		if s.l2MissObserver != nil {
 			s.l2MissObserver(tile, la, meta.PC)
 		}
 		if s.tr != nil {
 			s.tr.CacheAccess(tile, 2, false)
-			s.tr.Emit(uint64(s.eng.Now()), tile, trace.KindL2Miss, la, int64(meta.StreamID), 1)
+			s.tr.Emit(uint64(now), tile, trace.KindL2Miss, la, int64(meta.StreamID), 1)
 		}
 	}
 	if waiters, ok := tc.mshr[la]; ok {
@@ -412,7 +515,7 @@ func (s *System) l2Prefetch(tile int, la uint64, meta Meta) {
 		return // demand or another prefetch already fetching
 	}
 	tc.mshr[la] = nil
-	s.st.PrefetchIssued++
+	s.stAt(tile).PrefetchIssued++
 	s.fetch(tile, la, false, stats.L3CoreNormal, meta, PrefL2)
 }
 
@@ -430,7 +533,7 @@ func (s *System) PrefetchBulkL2(tile int, bank int, lineAddrs []uint64, meta Met
 			continue
 		}
 		tc.mshr[la] = nil
-		s.st.PrefetchIssued++
+		s.stAt(tile).PrefetchIssued++
 		todo = append(todo, la)
 	}
 	if len(todo) == 0 {
@@ -442,7 +545,7 @@ func (s *System) PrefetchBulkL2(tile int, bank int, lineAddrs []uint64, meta Met
 		for _, la := range todo {
 			la := la
 			s.bankHandle(bank, la, tile, false, stats.L3CoreNormal, nil, func(granted state, now event.Cycle) {
-				s.finishFetch(tile, la, granted, Meta{StreamID: -1}, PrefL2)
+				s.finishFetch(tile, la, granted, Meta{StreamID: -1}, PrefL2, now)
 			})
 		}
 	})
@@ -452,25 +555,25 @@ func (s *System) PrefetchBulkL2(tile int, bank int, lineAddrs []uint64, meta Met
 func (s *System) fetch(tile int, la uint64, excl bool, l3kind stats.L3ReqKind, meta Meta, kind Kind) {
 	bank := s.cfg.HomeBank(la)
 	if kind == PrefL1 || kind == PrefL2 {
-		s.st.PrefetchIssued++
+		s.stAt(tile).PrefetchIssued++
 	}
-	s.mesh.Send(tile, bank, stats.ClassCtrlReq, 8, func(event.Cycle) {
+	s.mesh.Send(tile, bank, stats.ClassCtrlReq, 8, func(now event.Cycle) {
 		if p := meta.Probe; p != nil {
-			p.ReqAtBank = uint64(s.eng.Now())
+			p.ReqAtBank = uint64(now)
 		}
 		s.bankHandle(bank, la, tile, excl, l3kind, meta.Probe, func(granted state, now event.Cycle) {
-			s.finishFetch(tile, la, granted, meta, kind)
+			s.finishFetch(tile, la, granted, meta, kind, now)
 		})
 	})
 }
 
 // finishFetch installs the response in the private caches and wakes MSHR
 // waiters.
-func (s *System) finishFetch(tile int, la uint64, granted state, meta Meta, kind Kind) {
+func (s *System) finishFetch(tile int, la uint64, granted state, meta Meta, kind Kind, now event.Cycle) {
 	tc := s.tiles[tile]
-	s.traceFill(tile, la, granted)
+	s.traceFill(tile, la, granted, now)
 	if s.tr != nil {
-		s.tr.Emit(uint64(s.eng.Now()), tile, trace.KindFill, la, int64(granted), int64(kind))
+		s.tr.Emit(uint64(now), tile, trace.KindFill, la, int64(granted), int64(kind))
 	}
 	s.fillL2(tile, la, granted, meta, kind)
 	if kind != PrefL2 {
@@ -478,7 +581,6 @@ func (s *System) finishFetch(tile int, la uint64, granted state, meta Meta, kind
 	}
 	waiters := tc.mshr[la]
 	delete(tc.mshr, la)
-	now := s.eng.Now()
 	for _, w := range waiters {
 		if w != nil {
 			w.complete(now)
@@ -550,8 +652,9 @@ func (s *System) evictL1(tile int, victim *line) {
 func (s *System) evictL2(tile int, victim *line) {
 	va := victim.addr
 	home := s.cfg.HomeBank(va)
+	st := s.stAt(tile)
 	dirty := victim.dirty || victim.state == stModified
-	s.traceEvict("l2", tile, victim)
+	s.traceEvict("l2", tile, victim, s.engAt(tile).Now())
 	if s.tr != nil {
 		var a, b int64
 		if dirty {
@@ -560,22 +663,22 @@ func (s *System) evictL2(tile int, victim *line) {
 		if victim.reused {
 			b = 1
 		}
-		s.tr.Emit(uint64(s.eng.Now()), tile, trace.KindL2Evict, va, a, b)
+		s.tr.Emit(uint64(s.engAt(tile).Now()), tile, trace.KindL2Evict, va, a, b)
 	}
 
-	s.st.L2Evictions++
+	st.L2Evictions++
 	if !dirty && !victim.reused {
-		s.st.L2EvictCleanNoReuse++
+		st.L2EvictCleanNoReuse++
 		if victim.stream {
-			s.st.L2EvictCleanNoReuseStream++
+			st.L2EvictCleanNoReuseStream++
 		}
 		// Fig 2b attribution: the flit-hops spent caching this line for
 		// nothing — the original request and data response plus this
 		// eviction notification.
 		hops := uint64(s.mesh.Hops(tile, home))
 		dataFlits := uint64(s.mesh.Flits(lineSize))
-		s.st.UnreusedCtrlFlitHops += 2 * hops // GetS request + PutS
-		s.st.UnreusedDataFlitHops += dataFlits * hops
+		st.UnreusedCtrlFlitHops += 2 * hops // GetS request + PutS
+		st.UnreusedDataFlitHops += dataFlits * hops
 	}
 
 	// Back-invalidate the L1 copy (merging its dirty data first).
@@ -586,16 +689,14 @@ func (s *System) evictL2(tile int, victim *line) {
 		s.tiles[tile].l1.invalidate(l1)
 	}
 
-	// Directory update is applied immediately; the message models traffic
-	// and occupancy.
-	if dl := s.banks[home].lookup(va); dl != nil {
-		dl.sharers &^= 1 << uint(tile)
-		if dl.owner == int16(tile) {
-			dl.owner = -1
-		}
-		if dirty {
-			dl.dirty = true
-		}
+	// Directory update is applied immediately (at the barrier when the home
+	// bank lives on another shard); the message models traffic and occupancy.
+	if s.tileShard == nil {
+		s.applyDirUpdate(home, va, tile, dirty)
+	} else {
+		op := s.getCoh(tile)
+		op.s, op.bank, op.tile, op.la, op.flag = s, home, tile, va, dirty
+		s.deferCoh(tile, runDirUpdate, op)
 	}
 	if dirty {
 		if s.l2DirtyEvict != nil {
@@ -606,4 +707,42 @@ func (s *System) evictL2(tile int, victim *line) {
 		s.mesh.Send(tile, home, stats.ClassCtrlCoh, 0, func(event.Cycle) {})
 	}
 	s.tiles[tile].l2.invalidate(victim)
+}
+
+// applyDirUpdate makes the home directory forget an evicted L2 copy.
+func (s *System) applyDirUpdate(home int, va uint64, tile int, dirty bool) {
+	if dl := s.banks[home].lookup(va); dl != nil {
+		dl.sharers &^= 1 << uint(tile)
+		if dl.owner == int16(tile) {
+			dl.owner = -1
+		}
+		if dirty {
+			dl.dirty = true
+		}
+	}
+}
+
+// runDirUpdate is the barrier-op form of applyDirUpdate.
+func runDirUpdate(_ event.Cycle, arg any) {
+	op := arg.(*cohOp)
+	op.s.applyDirUpdate(op.bank, op.la, op.tile, op.flag)
+	op.s.putCoh(op)
+}
+
+// runInvalidate is the barrier-op form of invalidatePrivate: a bank drops a
+// remote tile's private copy.
+func runInvalidate(_ event.Cycle, arg any) {
+	op := arg.(*cohOp)
+	op.s.invalidatePrivate(op.tile, op.la)
+	op.s.putCoh(op)
+}
+
+// runBankDirty marks a remote home-bank directory entry dirty (owner
+// writeback in flight).
+func runBankDirty(_ event.Cycle, arg any) {
+	op := arg.(*cohOp)
+	if dl := op.s.banks[op.bank].lookup(op.la); dl != nil {
+		dl.dirty = true
+	}
+	op.s.putCoh(op)
 }

@@ -12,10 +12,13 @@ import (
 const canonicalVersion = 2
 
 // CanonicalFieldCount is the number of top-level Config fields the canonical
-// encoding covers. A test asserts it against reflect.TypeOf(Config{}).NumField()
-// so that adding a Config field without extending CanonicalBytes fails loudly
-// rather than silently aliasing distinct configurations.
-const CanonicalFieldCount = 26
+// encoding accounts for. A test asserts it against reflect.TypeOf(Config{}).
+// NumField() so that adding a Config field without extending CanonicalBytes
+// (or deliberately excluding it below) fails loudly rather than silently
+// aliasing distinct configurations. Workers is counted here but excluded
+// from the encoding: it is an execution knob with bit-identical results for
+// every value, so runs at different worker counts share one cache key.
+const CanonicalFieldCount = 27
 
 // CanonicalBytes returns a deterministic, version-tagged binary encoding of
 // every simulation-affecting Config field. Two configurations produce the
@@ -86,5 +89,8 @@ func (c Config) CanonicalBytes() []byte {
 	i(sp.Measure)
 	u(uint64(sp.Seed))
 	u(uint64(sp.Warmup))
+	// Workers is intentionally not encoded: the partitioned event kernel
+	// produces bit-identical results for every worker count (see
+	// internal/par), so the knob must not fragment the result cache.
 	return buf
 }

@@ -58,9 +58,12 @@ func (s *l3Stream) hasCredit() bool { return s.issued < int64(s.creditLevel) }
 
 // terminate tears the stream down (stream_end or sink).
 func (s *l3Stream) terminate() {
+	if s.dead {
+		return
+	}
 	s.dead = true
 	s.pending = nil
-	s.eng.unregister(s.key)
+	s.retire()
 }
 
 // advance pops the next line of the stream's program.
@@ -71,8 +74,20 @@ func (s *l3Stream) advance() {
 	} else {
 		s.pending = nil
 		s.dead = true
-		s.eng.unregister(s.key)
+		s.retire()
 	}
+}
+
+// retire removes a finished stream from the registry. Partitioned, the
+// registry is barrier-owned, so a stream dying inside its bank's window
+// defers the removal (retire may also run from barrier context, where
+// appending to the op log is equally safe).
+func (s *l3Stream) retire() {
+	if s.eng.sharded() {
+		s.eng.deferAt(s.curBank, runUnregister, s)
+		return
+	}
+	s.eng.unregister(s.key)
 }
 
 // confGroup is a set of merged streams with identical patterns from the
@@ -83,11 +98,12 @@ type confGroup struct {
 }
 
 // alive returns the members still running, reaping any whose requesting-side
-// buffer has been torn down.
+// buffer has been torn down. It runs bank-side, so it reads the group's
+// barrier-published deadR rather than the requesting tile's live dead flag.
 func (g *confGroup) alive() []*l3Stream {
 	out := g.members[:0]
 	for _, m := range g.members {
-		if !m.dead && m.group.dead {
+		if !m.dead && m.group.deadR {
 			m.terminate()
 		}
 		if !m.dead {
@@ -168,7 +184,7 @@ func (b *seL3) install(s *l3Stream) {
 			}
 			cg.members = append(cg.members, s)
 			s.conf = cg
-			b.e.st.ConfluenceGroups++
+			b.e.stAt(b.bank).ConfluenceGroups++
 			return
 		}
 	}
@@ -189,7 +205,7 @@ func (b *seL3) wake() {
 		return
 	}
 	b.ticking = true
-	b.e.eng.ScheduleCall(1, runL3Tick, event.Ref{Obj: b})
+	b.e.engAt(b.bank).ScheduleCall(1, runL3Tick, event.Ref{Obj: b})
 }
 
 // tick is the issue unit: one request per cycle, round-robin across
@@ -199,7 +215,7 @@ func (b *seL3) tick(event.Cycle) {
 		issue := b.indQ[0]
 		b.indQ = b.indQ[1:]
 		issue()
-		b.e.eng.ScheduleCall(1, runL3Tick, event.Ref{Obj: b})
+		b.e.engAt(b.bank).ScheduleCall(1, runL3Tick, event.Ref{Obj: b})
 		return
 	}
 	// Prune finished groups.
@@ -215,7 +231,7 @@ func (b *seL3) tick(event.Cycle) {
 		g := b.groups[(b.rr+k)%n]
 		if b.tryIssue(g) {
 			b.rr = (b.rr + k + 1) % max(1, len(b.groups))
-			b.e.eng.ScheduleCall(1, runL3Tick, event.Ref{Obj: b})
+			b.e.engAt(b.bank).ScheduleCall(1, runL3Tick, event.Ref{Obj: b})
 			return
 		}
 	}
@@ -275,14 +291,14 @@ func (b *seL3) tryIssue(g *confGroup) bool {
 	for i, m := range cands {
 		dsts[i] = m.reqTile
 	}
-	b.e.st.SEL3Accesses++
+	b.e.stAt(b.bank).SEL3Accesses++
 	if b.e.tr != nil {
 		m0 := cands[0]
-		b.e.tr.Emit(uint64(b.e.eng.Now()), b.bank, trace.KindSEL3Issue,
+		b.e.tr.Emit(uint64(b.e.engAt(b.bank).Now()), b.bank, trace.KindSEL3Issue,
 			trace.StreamKey(m0.key.tile, m0.key.sid), ref.seq, int64(len(cands)))
 	}
 	if ref.addr>>12 != cands[0].lastPage {
-		b.e.st.TLBTranslations++
+		b.e.stAt(b.bank).TLBTranslations++
 	}
 	// Indirect children chain off the index data once it is available at
 	// the bank (never under confluence: indirect streams do not merge).
@@ -310,6 +326,8 @@ func (b *seL3) tryIssue(g *confGroup) bool {
 		byTile[m.reqTile] = m
 	}
 	seq := ref.seq
+	// The delivery callback runs at each destination tile (the group's own
+	// tile), so it reads the live dead flag, not the deadR mirror.
 	b.e.sys.FloatReadAuto(b.bank, ref.addr, dsts, kind, lineBytes, onBank,
 		func(dst int, _ event.Cycle) {
 			if m := byTile[dst]; m != nil && !m.group.dead {
@@ -331,18 +349,19 @@ func (b *seL3) queueIndirect(m *l3Stream, ref lineRef) {
 			b.indQ = append(b.indQ, func() {
 				// m.dead alone is fine (normal completion of the affine
 				// walk); only a torn-down requesting buffer cancels the
-				// dependent accesses.
-				if m.group.dead {
+				// dependent accesses. This thunk runs bank-side: deadR.
+				if m.group.deadR {
 					return
 				}
 				v := b.e.bk.ReadU32(m.pat.AddrAt(e))
 				addr := child.Indirect.AddrFor(uint64(v))
 				payload := int(child.Indirect.WBytes)
+				st := b.e.stAt(b.bank)
 				if payload < 64 {
-					b.e.st.SublineResponses++
+					st.SublineResponses++
 				}
-				b.e.st.TLBTranslations++
-				b.e.st.SEL3Accesses++
+				st.TLBTranslations++
+				st.SEL3Accesses++
 				grp, sid := m.group, child.ID
 				dst := m.reqTile
 				b.e.sys.FloatIndirectRead(b.bank, cache.LineAddr(addr), dst, payload,
@@ -371,18 +390,23 @@ func (b *seL3) migrate(g *confGroup, toBank int) {
 	// One packet carries the full stream configuration plus the current
 	// iteration and remaining credits; merged members add an id each.
 	payload := stream.ConfigBytes(len(members[0].children)) + 8*len(members)
-	b.e.st.StreamMigrations++
+	b.e.stAt(b.bank).StreamMigrations++
 	if b.e.tr != nil {
-		now := uint64(b.e.eng.Now())
+		now := uint64(b.e.engAt(b.bank).Now())
 		for _, m := range members {
 			b.e.tr.StreamMigrate(now, m.key.tile, m.key.sid, b.bank, toBank)
 		}
 	}
 	b.e.mesh.Send(b.bank, toBank, stats.ClassStream, payload, func(event.Cycle) {
 		tb := b.e.l3s[toBank]
-		for _, m := range g.alive() {
-			m.curBank = toBank
+		// Re-home every member before alive() can reap any (a reaped
+		// member's deferred retire must queue at the bank now running it).
+		for _, m := range g.members {
+			if !m.dead {
+				m.curBank = toBank
+			}
 		}
+		g.alive()
 		tb.acceptGroup(g)
 		tb.wake()
 	})
@@ -418,7 +442,7 @@ func (b *seL3) acceptGroup(g *confGroup) {
 			cg.members = append(cg.members, members...)
 			for _, mm := range members {
 				mm.conf = cg
-				b.e.st.ConfluenceGroups++
+				b.e.stAt(b.bank).ConfluenceGroups++
 			}
 			return
 		}

@@ -12,6 +12,7 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -33,6 +34,12 @@ type Options struct {
 	Benchmarks []string
 	// Parallelism bounds concurrent simulations (0 or negative = GOMAXPROCS).
 	Parallelism int
+	// Workers sets every simulation's parallel worker count (config.Workers):
+	// how many goroutines drive a partitioned machine's tile shards. 0 or 1
+	// runs each simulation sequentially. Results are bit-identical for every
+	// value; the sweep's effective parallelism is derated so that
+	// Parallelism x Workers never oversubscribes GOMAXPROCS.
+	Workers int
 	// Sanitize sets every simulation's runtime invariant checking: the zero
 	// value (auto) turns probes on inside test binaries and off elsewhere.
 	Sanitize sanitize.Mode
@@ -60,6 +67,19 @@ type Options struct {
 	// scale) points are served from the cache instead of re-simulating, and
 	// concurrent identical requests share one simulation.
 	Cache ResultCache
+
+	// figure names the figure being regenerated, for pprof labels on the
+	// sweep's goroutines. Set by runFigure; ad-hoc runAll callers show up
+	// as "adhoc".
+	figure string
+}
+
+// figureLabel resolves the pprof figure label.
+func (o Options) figureLabel() string {
+	if o.figure == "" {
+		return "adhoc"
+	}
+	return o.figure
 }
 
 // ResultCache memoizes deterministic simulation results by canonical key.
@@ -94,13 +114,48 @@ func (o Options) context() context.Context {
 	return context.Background()
 }
 
-// parallelism resolves the concurrency bound, clamping zero and negative
-// values to GOMAXPROCS.
-func (o Options) parallelism() int {
+// workers resolves the per-simulation worker count (min 1).
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+// rawParallelism resolves the requested concurrency bound, clamping zero and
+// negative values to GOMAXPROCS.
+func (o Options) rawParallelism() int {
 	if o.Parallelism <= 0 {
 		return runtime.GOMAXPROCS(0)
 	}
 	return o.Parallelism
+}
+
+// parallelism resolves the effective sweep concurrency: the requested bound,
+// derated by the per-simulation worker count so that concurrent sweeps times
+// shard workers never oversubscribes GOMAXPROCS (oversubscription makes the
+// spin-barrier quanta of the parallel kernel actively harmful).
+func (o Options) parallelism() int {
+	p := o.rawParallelism()
+	if w := o.workers(); w > 1 {
+		if procs := runtime.GOMAXPROCS(0); p*w > procs {
+			p = procs / w
+			if p < 1 {
+				p = 1
+			}
+		}
+	}
+	return p
+}
+
+// derateNote describes the oversubscription derate when it applies, or "".
+func (o Options) derateNote() string {
+	raw, eff := o.rawParallelism(), o.parallelism()
+	if eff >= raw {
+		return ""
+	}
+	return fmt.Sprintf("sweep parallelism derated %d -> %d: %d workers/simulation x %d sweeps fits GOMAXPROCS=%d",
+		raw, eff, o.workers(), eff, runtime.GOMAXPROCS(0))
 }
 
 func (o Options) benchmarks() []string {
@@ -207,48 +262,64 @@ func runAll(ctx context.Context, opts Options, keys []runKey) ([]system.Results,
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			if err := ctx.Err(); err != nil {
-				errs[i] = err
-				return
-			}
-			cfg, err := config.ForSystem(k.system, k.core)
-			if err != nil {
-				errs[i] = err
-				cancel()
-				return
-			}
-			cfg.Sanitize = opts.Sanitize
-			cfg.Sample = opts.Sample
-			if k.mutate != nil {
-				k.mutate(&cfg)
-			}
-			run := func() (system.Results, error) {
-				if cfg.Sample.Enabled() {
-					est, err := sample.RunEstimate(ctx, cfg, k.bench, opts.scale())
-					if err != nil {
-						return system.Results{}, err
-					}
-					opts.Estimates.record(k, est)
-					return est.Results, nil
-				}
-				return system.RunBenchmark(ctx, cfg, k.bench, opts.scale())
-			}
-			switch cache := opts.Cache.(type) {
-			case nil:
-				results[i], errs[i] = run()
-			case PointCache:
-				key := system.CacheKey(cfg, k.bench, opts.scale())
-				results[i], errs[i] = cache.DoPoint(ctx, key, cfg, k.bench, opts.scale(), run)
-			default:
-				results[i], errs[i] = cache.Do(ctx, system.CacheKey(cfg, k.bench, opts.scale()), run)
-			}
-			if errs[i] != nil {
-				cancel()
-			}
+			// Label the point's goroutine for pprof attribution; the labels
+			// are inherited by everything it spawns, including the parallel
+			// kernel's shard workers.
+			pprof.Do(ctx, pprof.Labels(
+				"figure", opts.figureLabel(),
+				"benchmark", k.bench,
+				"config", k.system+"/"+k.core.String(),
+			), func(ctx context.Context) {
+				runPoint(ctx, cancel, opts, k, &results[i], &errs[i])
+			})
 		}(i, k)
 	}
 	wg.Wait()
 	return results, sweepError(keys, errs)
+}
+
+// runPoint simulates (or fetches) one point of a sweep.
+func runPoint(ctx context.Context, cancel context.CancelFunc, opts Options, k runKey, result *system.Results, errp *error) {
+	defer func() {
+		if *errp != nil {
+			cancel()
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		*errp = err
+		return
+	}
+	cfg, err := config.ForSystem(k.system, k.core)
+	if err != nil {
+		*errp = err
+		return
+	}
+	cfg.Sanitize = opts.Sanitize
+	cfg.Sample = opts.Sample
+	cfg.Workers = opts.workers()
+	if k.mutate != nil {
+		k.mutate(&cfg)
+	}
+	run := func() (system.Results, error) {
+		if cfg.Sample.Enabled() {
+			est, err := sample.RunEstimate(ctx, cfg, k.bench, opts.scale())
+			if err != nil {
+				return system.Results{}, err
+			}
+			opts.Estimates.record(k, est)
+			return est.Results, nil
+		}
+		return system.RunBenchmark(ctx, cfg, k.bench, opts.scale())
+	}
+	switch cache := opts.Cache.(type) {
+	case nil:
+		*result, *errp = run()
+	case PointCache:
+		key := system.CacheKey(cfg, k.bench, opts.scale())
+		*result, *errp = cache.DoPoint(ctx, key, cfg, k.bench, opts.scale(), run)
+	default:
+		*result, *errp = cache.Do(ctx, system.CacheKey(cfg, k.bench, opts.scale()), run)
+	}
 }
 
 // sweepError reduces per-run errors to the one worth reporting: the first
@@ -747,7 +818,7 @@ func AreaTable() *Table {
 // attribution appendix), writing rendered tables to w.
 func All(opts Options, w io.Writer) error {
 	for _, r := range figureRunners() {
-		t, err := runFigure(r.fn, opts)
+		t, err := runFigure(r.name, r.fn, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.name, err)
 		}
@@ -764,7 +835,7 @@ func ByName(id string) (func(Options) (*Table, error), bool) {
 	if !ok {
 		return nil, false
 	}
-	return func(opts Options) (*Table, error) { return runFigure(fn, opts) }, true
+	return func(opts Options) (*Table, error) { return runFigure(id, fn, opts) }, true
 }
 
 func rawByName(id string) (func(Options) (*Table, error), bool) {

@@ -21,7 +21,7 @@ func AllTables(opts Options) ([]NamedTable, error) {
 	rs := figureRunners()
 	out := make([]NamedTable, 0, len(rs))
 	for _, r := range rs {
-		t, err := runFigure(r.fn, opts)
+		t, err := runFigure(r.name, r.fn, opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", r.name, err)
 		}

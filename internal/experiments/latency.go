@@ -147,7 +147,7 @@ func writeCSVs(runners []figRunner, opts Options, dir string) error {
 		return err
 	}
 	for _, r := range runners {
-		t, err := runFigure(r.fn, opts)
+		t, err := runFigure(r.name, r.fn, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.name, err)
 		}

@@ -130,8 +130,11 @@ func (s *SamplingSummary) note() string {
 // runFigure invokes one figure runner, provisioning an estimate log when
 // the sweep samples and stitching the resulting summary into the table. All,
 // ByName and the CSV writers all route through here so every rendered
-// sampled table carries its confidence intervals.
-func runFigure(fn func(Options) (*Table, error), opts Options) (*Table, error) {
+// sampled table carries its confidence intervals (and, when the per-
+// simulation worker count forces a sweep-parallelism derate, a note saying
+// so). name tags the sweep's goroutines for pprof attribution.
+func runFigure(name string, fn func(Options) (*Table, error), opts Options) (*Table, error) {
+	opts.figure = name
 	sampled := opts.Sample.Enabled()
 	if sampled && opts.Estimates == nil {
 		opts.Estimates = &EstimateLog{}
@@ -145,6 +148,9 @@ func runFigure(fn func(Options) (*Table, error), opts Options) (*Table, error) {
 			t.Sampling = newSamplingSummary(opts.Sample, pts)
 			t.Notes = append(t.Notes, t.Sampling.note())
 		}
+	}
+	if n := opts.derateNote(); n != "" {
+		t.Notes = append(t.Notes, n)
 	}
 	return t, nil
 }

@@ -265,11 +265,11 @@ func TestSampledGoldenAccuracy(t *testing.T) {
 	}
 
 	// Fig 14: L3 request-origin share within 5 points absolute.
-	full14, err := runFigure(Fig14, base)
+	full14, err := runFigure("fig14", Fig14, base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	samp14, err := runFigure(Fig14, sampled)
+	samp14, err := runFigure("fig14", Fig14, sampled)
 	if err != nil {
 		t.Fatal(err)
 	}

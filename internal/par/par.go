@@ -1,0 +1,301 @@
+// Package par partitions the simulated machine into tile shards, each driven
+// by its own event.Engine, and runs them in barrier-synchronized quanta of
+// one conservative lookahead. It is the parallel execution substrate behind
+// system.Machine: tiles (core + private caches + L3 bank + stream engines,
+// with DRAM controllers pinned to their corner tile's shard) are partitioned
+// round-robin into P shards, and cross-shard interaction is funneled through
+// per-shard op logs that the quantum barrier drains in one canonical order.
+//
+// # Determinism
+//
+// The shard count P is derived from the configuration alone (ShardsFor), so
+// the shard layout, every engine's event schedule, and the op logs are all
+// functions of the configuration — the worker count only chooses how many
+// goroutines drive the P shards. Within a quantum, shards touch disjoint
+// state (each tile's components live on exactly one shard and never mutate
+// another tile's state directly); at the barrier, the logged ops are sorted
+// by (cycle, source tile) with per-tile log order as the tiebreak, a total
+// order independent of both the shard layout and the thread schedule.
+// Results are therefore bit-identical for any worker count.
+//
+// # Lookahead
+//
+// Every cross-tile interaction rides a NoC message costing at least
+// router+link cycles per hop, so a quantum of exactly that width can run all
+// shards independently: any message sent during the window [W, W+Q) arrives
+// at or after W+Q, i.e. in a later window, regardless of execution order.
+package par
+
+import (
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"streamfloat/internal/event"
+	"streamfloat/internal/stats"
+)
+
+// shardThreshold is the minimum tile count at which a machine is partitioned.
+// Smaller machines (unit-test meshes) run the exact legacy single-engine
+// path: one shard whose Defer executes immediately.
+const shardThreshold = 16
+
+// maxShards bounds the partition: more shards than this only add per-quantum
+// polling overhead without exposing more parallelism per worker.
+const maxShards = 16
+
+// ShardsFor returns the shard count for a machine with the given number of
+// tiles. It is a pure function of the configuration — never of the worker
+// count — so the event schedule is identical however many goroutines drive
+// the shards.
+func ShardsFor(tiles int) int {
+	if tiles < shardThreshold {
+		return 1
+	}
+	if tiles < maxShards {
+		return tiles
+	}
+	return maxShards
+}
+
+// ShardOf maps a tile to its shard under the round-robin partition. The
+// interleaved assignment spreads mesh neighborhoods (and the hot corner
+// tiles hosting DRAM controllers) across shards for load balance; any
+// fixed assignment is legal because cross-tile interaction is barrier-
+// mediated, not locality-dependent.
+func ShardOf(tile, shards int) int { return tile % shards }
+
+// Op is one deferred cross-tile effect: a mesh send awaiting link
+// reservation, a coherence action on another tile's state, or any other
+// handler that must not run inside a shard's window. Ops execute single-
+// threaded at the quantum barrier, in canonical (When, Tile, issue) order.
+// Call receives the cycle the op was issued at; Arg carries its payload
+// (pointer-shaped values only, to avoid boxing).
+type Op struct {
+	When event.Cycle
+	Tile int
+	Call func(now event.Cycle, arg any)
+	Arg  any
+}
+
+// Shard is one partition of the machine: a set of tiles driven by a private
+// engine, accumulating into private stats, with an op log for cross-tile
+// effects. A direct shard (single-shard machine) executes deferred ops
+// immediately, which reproduces the legacy sequential semantics exactly.
+type Shard struct {
+	Eng *event.Engine
+	St  *stats.Stats
+
+	direct bool
+	ops    []Op
+
+	// pad keeps concurrently hot shards off each other's cache lines.
+	_ [8]uint64
+}
+
+// NewShard returns a shard for a partitioned machine.
+func NewShard(eng *event.Engine, st *stats.Stats) *Shard {
+	return &Shard{Eng: eng, St: st}
+}
+
+// NewDirect returns the single shard of an unpartitioned machine: Defer
+// executes immediately, preserving the exact legacy event order.
+func NewDirect(eng *event.Engine, st *stats.Stats) *Shard {
+	return &Shard{Eng: eng, St: st, direct: true}
+}
+
+// Direct reports whether this shard executes deferred ops immediately.
+func (s *Shard) Direct() bool { return s.direct }
+
+// Defer queues a cross-tile effect issued by tile at cycle when, to run at
+// the next quantum barrier. On a direct shard it runs synchronously instead.
+// Ops deferred from barrier context (an op deferring another op) are drained
+// in the same barrier, in a later wave.
+func (s *Shard) Defer(when event.Cycle, tile int, call func(event.Cycle, any), arg any) {
+	if s.direct {
+		call(when, arg)
+		return
+	}
+	s.ops = append(s.ops, Op{When: when, Tile: tile, Call: call, Arg: arg})
+}
+
+// Group drives a set of shards through barrier-synchronized quanta.
+type Group struct {
+	Shards  []*Shard
+	Quantum event.Cycle // conservative lookahead = quantum width
+
+	// Workers is the number of goroutines driving the shards (clamped to
+	// [1, len(Shards)]). It is an execution knob: results are identical for
+	// every value.
+	Workers int
+
+	// Labels, when non-empty, annotate the per-shard worker goroutines for
+	// pprof attribution (key-value pairs, e.g. "benchmark", "config").
+	Labels []string
+
+	batch []Op // reused barrier sort buffer
+
+	// Barrier state (sense by cumulative epoch counts).
+	epoch   atomic.Uint64
+	horizon atomic.Uint64
+	done    atomic.Uint64
+}
+
+// workers resolves the worker count.
+func (g *Group) workers() int {
+	w := g.Workers
+	if w <= 0 {
+		w = 1
+	}
+	if w > len(g.Shards) {
+		w = len(g.Shards)
+	}
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
+	}
+	return w
+}
+
+// next returns the earliest pending cycle across all shards.
+func (g *Group) next() (event.Cycle, bool) {
+	var min event.Cycle
+	ok := false
+	for _, s := range g.Shards {
+		if t, has := s.Eng.NextWhen(); has && (!ok || t < min) {
+			min, ok = t, true
+		}
+	}
+	return min, ok
+}
+
+// drain executes all logged ops in canonical order: sorted by (When, Tile),
+// with each tile's issue order preserved (a tile's ops live in exactly one
+// shard's log, appended in execution order, and the sort is stable over the
+// fixed shard concatenation). Ops may defer further ops; those run in a
+// subsequent wave of the same barrier.
+func (g *Group) drain() {
+	for {
+		g.batch = g.batch[:0]
+		for _, s := range g.Shards {
+			g.batch = append(g.batch, s.ops...)
+			s.ops = s.ops[:0]
+		}
+		if len(g.batch) == 0 {
+			return
+		}
+		sort.SliceStable(g.batch, func(i, j int) bool {
+			a, b := &g.batch[i], &g.batch[j]
+			if a.When != b.When {
+				return a.When < b.When
+			}
+			return a.Tile < b.Tile
+		})
+		for i := range g.batch {
+			op := &g.batch[i]
+			op.Call(op.When, op.Arg)
+			*op = Op{} // release payload references
+		}
+	}
+}
+
+// spin waits until load() reports at least want, yielding the processor
+// after a burst of failed probes. Quanta are a handful of cycles of
+// simulated work (microseconds of wall clock), so a mostly-spinning wait
+// beats channel wakeups by an order of magnitude here.
+func spin(load func() uint64, want uint64) {
+	for i := 0; ; i++ {
+		if load() >= want {
+			return
+		}
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// runShards runs one window over the shards owned by worker id.
+func (g *Group) runShards(id, workers int, horizon event.Cycle) {
+	for i := id; i < len(g.Shards); i += workers {
+		g.Shards[i].Eng.RunWindow(horizon)
+	}
+}
+
+// Run executes quanta until every engine drains, the next event would cross
+// maxCycles (0 = no horizon), or stop (polled once per quantum; nil = never)
+// reports true. It returns whether the run was stopped early. On a horizon
+// break every engine is advanced to maxCycles, mirroring the sequential
+// engine's behavior.
+func (g *Group) Run(maxCycles event.Cycle, stop func() bool) (stopped bool) {
+	if g.Quantum == 0 {
+		g.Quantum = 1
+	}
+	workers := g.workers()
+	var wg sync.WaitGroup
+	if workers > 1 {
+		start := g.epoch.Load()
+		for id := 1; id < workers; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				kv := append([]string{"shard-worker", strconv.Itoa(id)}, g.Labels...)
+				pprof.Do(context.Background(), pprof.Labels(kv...), func(context.Context) {
+					e := start
+					for {
+						spin(g.epoch.Load, e+1)
+						e++
+						h := event.Cycle(g.horizon.Load())
+						if h == 0 { // shutdown sentinel
+							return
+						}
+						g.runShards(id, workers, h)
+						g.done.Add(1)
+					}
+				})
+			}(id)
+		}
+		defer func() {
+			g.horizon.Store(0)
+			g.epoch.Add(1)
+			wg.Wait()
+		}()
+	}
+
+	helperDone := g.done.Load()
+	for {
+		if stop != nil && stop() {
+			return true
+		}
+		w, ok := g.next()
+		if !ok {
+			return false
+		}
+		if maxCycles != 0 && w > maxCycles {
+			for _, s := range g.Shards {
+				s.Eng.AdvanceTo(maxCycles)
+			}
+			return false
+		}
+		horizon := w + g.Quantum
+		if workers > 1 {
+			g.horizon.Store(uint64(horizon))
+			g.epoch.Add(1)
+			g.runShards(0, workers, horizon)
+			helperDone += uint64(workers - 1)
+			spin(g.done.Load, helperDone)
+		} else {
+			g.runShards(0, 1, horizon)
+		}
+		// Normalize every engine to the window end before the barrier ops
+		// run: op handlers then observe one uniform Now() and everything
+		// they schedule lands at or beyond the window end, independent of
+		// which tile last fired on each engine.
+		for _, s := range g.Shards {
+			s.Eng.AdvanceTo(horizon)
+		}
+		g.drain()
+	}
+}

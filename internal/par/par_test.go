@@ -1,0 +1,240 @@
+package par
+
+import (
+	"reflect"
+	"testing"
+
+	"streamfloat/internal/event"
+	"streamfloat/internal/stats"
+)
+
+func TestShardsFor(t *testing.T) {
+	cases := []struct{ tiles, want int }{
+		{1, 1}, {4, 1}, {15, 1}, // small meshes stay unpartitioned
+		{16, 16}, {32, 16}, {64, 16}, {256, 16},
+	}
+	for _, c := range cases {
+		if got := ShardsFor(c.tiles); got != c.want {
+			t.Errorf("ShardsFor(%d) = %d, want %d", c.tiles, got, c.want)
+		}
+	}
+}
+
+func TestShardOfCoversAllShards(t *testing.T) {
+	const tiles, shards = 64, 16
+	count := make([]int, shards)
+	for tile := 0; tile < tiles; tile++ {
+		s := ShardOf(tile, shards)
+		if s < 0 || s >= shards {
+			t.Fatalf("ShardOf(%d, %d) = %d out of range", tile, shards, s)
+		}
+		count[s]++
+	}
+	for s, n := range count {
+		if n != tiles/shards {
+			t.Errorf("shard %d owns %d tiles, want %d (unbalanced partition)", s, n, tiles/shards)
+		}
+	}
+}
+
+// TestDirectShardExecutesImmediately: the single-shard (legacy) machine must
+// run deferred ops synchronously, preserving the sequential event order.
+func TestDirectShardExecutesImmediately(t *testing.T) {
+	sh := NewDirect(event.New(), &stats.Stats{})
+	if !sh.Direct() {
+		t.Fatal("NewDirect not direct")
+	}
+	ran := false
+	sh.Defer(7, 3, func(now event.Cycle, arg any) {
+		ran = true
+		if now != 7 {
+			t.Errorf("direct op saw now=%d, want the issue cycle 7", now)
+		}
+		if arg.(string) != "payload" {
+			t.Errorf("direct op arg = %v", arg)
+		}
+	}, "payload")
+	if !ran {
+		t.Fatal("direct Defer did not execute synchronously")
+	}
+	if len(sh.ops) != 0 {
+		t.Fatal("direct Defer logged an op")
+	}
+}
+
+// TestDrainCanonicalOrder: barrier ops must run sorted by (When, Tile), with
+// each tile's issue order preserved — the total order that makes results
+// independent of the shard layout and thread schedule.
+func TestDrainCanonicalOrder(t *testing.T) {
+	a := NewShard(event.New(), &stats.Stats{})
+	b := NewShard(event.New(), &stats.Stats{})
+	g := &Group{Shards: []*Shard{a, b}, Quantum: 6}
+
+	type fired struct {
+		when event.Cycle
+		tile int
+		seq  int
+	}
+	var got []fired
+	rec := func(tile, seq int) func(event.Cycle, any) {
+		return func(now event.Cycle, _ any) { got = append(got, fired{now, tile, seq}) }
+	}
+	// Logged deliberately out of (When, Tile) order, with two same-(When,
+	// Tile) ops from tile 3 to check issue-order preservation.
+	b.Defer(12, 3, rec(3, 0), nil)
+	b.Defer(10, 3, rec(3, 1), nil)
+	a.Defer(10, 0, rec(0, 2), nil)
+	b.Defer(10, 3, rec(3, 3), nil)
+	a.Defer(11, 2, rec(2, 4), nil)
+	g.drain()
+
+	want := []fired{
+		{10, 0, 2}, // earliest cycle, lowest tile
+		{10, 3, 1}, // tile 3's first same-cycle op, in issue order
+		{10, 3, 3},
+		{11, 2, 4},
+		{12, 3, 0},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("drain order = %v, want %v", got, want)
+	}
+	if len(a.ops) != 0 || len(b.ops) != 0 {
+		t.Error("drain left ops behind")
+	}
+}
+
+// TestDrainWaves: an op deferred from barrier context (an op deferring
+// another op) runs in a later wave of the same barrier.
+func TestDrainWaves(t *testing.T) {
+	a := NewShard(event.New(), &stats.Stats{})
+	g := &Group{Shards: []*Shard{a}, Quantum: 6}
+	var order []string
+	a.Defer(5, 0, func(event.Cycle, any) {
+		order = append(order, "first")
+		a.Defer(5, 0, func(event.Cycle, any) { order = append(order, "second") }, nil)
+	}, nil)
+	g.drain()
+	if !reflect.DeepEqual(order, []string{"first", "second"}) {
+		t.Errorf("waves ran %v", order)
+	}
+}
+
+// schedRecorder schedules an event on the shard's engine that records its
+// fire cycle.
+func schedRecorder(sh *Shard, at event.Cycle, log *[]event.Cycle) {
+	sh.Eng.At(at, func(now event.Cycle) { *log = append(*log, now) })
+}
+
+// TestGroupRunWindows: Run drives all shards through quanta until drained,
+// firing every event and normalizing engines to each window end.
+func TestGroupRunWindows(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		a := NewShard(event.New(), &stats.Stats{})
+		b := NewShard(event.New(), &stats.Stats{})
+		g := &Group{Shards: []*Shard{a, b}, Quantum: 6, Workers: workers}
+		var la, lb []event.Cycle
+		schedRecorder(a, 0, &la)
+		schedRecorder(a, 10, &la)
+		schedRecorder(a, 100, &la)
+		schedRecorder(b, 3, &lb)
+		schedRecorder(b, 11, &lb)
+		if stopped := g.Run(0, nil); stopped {
+			t.Fatalf("workers=%d: run reported stopped", workers)
+		}
+		if !reflect.DeepEqual(la, []event.Cycle{0, 10, 100}) || !reflect.DeepEqual(lb, []event.Cycle{3, 11}) {
+			t.Errorf("workers=%d: fired a=%v b=%v", workers, la, lb)
+		}
+		if a.Eng.Pending() != 0 || b.Eng.Pending() != 0 {
+			t.Errorf("workers=%d: events left pending", workers)
+		}
+		// Engines are normalized together: after the last window both stand
+		// at the same horizon.
+		if a.Eng.Now() != b.Eng.Now() {
+			t.Errorf("workers=%d: engines desynchronized: %d vs %d", workers, a.Eng.Now(), b.Eng.Now())
+		}
+	}
+}
+
+// TestGroupRunBarrierOpsBetweenWindows: ops logged during a window run at
+// that window's barrier, observing the normalized horizon time.
+func TestGroupRunBarrierOpsBetweenWindows(t *testing.T) {
+	a := NewShard(event.New(), &stats.Stats{})
+	b := NewShard(event.New(), &stats.Stats{})
+	g := &Group{Shards: []*Shard{a, b}, Quantum: 6}
+	var barrierNow, issueNow event.Cycle
+	a.Eng.At(2, func(now event.Cycle) {
+		a.Defer(now, 0, func(when event.Cycle, _ any) {
+			issueNow = when
+			barrierNow = a.Eng.Now()
+			// Barrier context may touch ANY shard: schedule the next event
+			// on the other shard's engine.
+			b.Eng.At(b.Eng.Now()+1, func(event.Cycle) {})
+		}, nil)
+	})
+	g.Run(0, nil)
+	if issueNow != 2 {
+		t.Errorf("op saw issue cycle %d, want 2", issueNow)
+	}
+	// The window started at 2 (earliest event), so the barrier normalizes
+	// engines to 2+Quantum.
+	if barrierNow != 8 {
+		t.Errorf("op ran with engine at %d, want the window horizon 8", barrierNow)
+	}
+}
+
+// TestGroupRunMaxCycles: a horizon break advances every engine to maxCycles
+// and leaves later events pending, mirroring the sequential engine.
+func TestGroupRunMaxCycles(t *testing.T) {
+	a := NewShard(event.New(), &stats.Stats{})
+	b := NewShard(event.New(), &stats.Stats{})
+	g := &Group{Shards: []*Shard{a, b}, Quantum: 6}
+	var fired []event.Cycle
+	schedRecorder(a, 5, &fired)
+	schedRecorder(b, 1000, &fired)
+	if stopped := g.Run(50, nil); stopped {
+		t.Fatal("horizon break is not a stop")
+	}
+	if !reflect.DeepEqual(fired, []event.Cycle{5}) {
+		t.Errorf("fired %v, want only the pre-horizon event", fired)
+	}
+	if b.Eng.Pending() != 1 {
+		t.Error("post-horizon event vanished")
+	}
+	if a.Eng.Now() != 50 || b.Eng.Now() != 50 {
+		t.Errorf("engines at %d/%d, want both clamped to 50", a.Eng.Now(), b.Eng.Now())
+	}
+}
+
+// TestGroupRunStop: the stop callback is polled between quanta and aborts
+// the run.
+func TestGroupRunStop(t *testing.T) {
+	a := NewShard(event.New(), &stats.Stats{})
+	g := &Group{Shards: []*Shard{a}, Quantum: 6}
+	fires := 0
+	a.Eng.At(1, func(now event.Cycle) {
+		fires++
+		a.Eng.At(now+10, func(event.Cycle) { fires++ })
+	})
+	calls := 0
+	stop := func() bool { calls++; return calls > 1 } // allow one quantum
+	if stopped := g.Run(0, stop); !stopped {
+		t.Fatal("stop not honored")
+	}
+	if fires != 1 {
+		t.Errorf("fired %d events before stop, want 1", fires)
+	}
+}
+
+// TestWorkersClamped: worker resolution never exceeds the shard count and
+// never drops below 1.
+func TestWorkersClamped(t *testing.T) {
+	g := &Group{Shards: []*Shard{NewShard(event.New(), &stats.Stats{}), NewShard(event.New(), &stats.Stats{})}}
+	g.Workers = 0
+	if w := g.workers(); w != 1 {
+		t.Errorf("Workers=0 resolved to %d", w)
+	}
+	g.Workers = 99
+	if w := g.workers(); w > 2 {
+		t.Errorf("Workers=99 resolved to %d with 2 shards", w)
+	}
+}

@@ -1,0 +1,58 @@
+package system
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"streamfloat/internal/config"
+	"streamfloat/internal/sanitize"
+	"streamfloat/internal/workload"
+)
+
+// TestHuntWorkerDivergence sweeps (system, core, benchmark) points comparing
+// workers=1 vs workers=2 results. Temporary debugging aid; enable with
+// SF_HUNT="sys/core" (e.g. "Stride/OOO4") or SF_HUNT=all.
+func TestHuntWorkerDivergence(t *testing.T) {
+	sel := os.Getenv("SF_HUNT")
+	if sel == "" {
+		t.Skip("set SF_HUNT")
+	}
+	withProcs(t, 2)
+	for _, sys := range []string{"Base", "Stride", "Bingo", "SS", "SF"} {
+		for _, core := range []config.CoreKind{config.IO4, config.OOO4, config.OOO8} {
+			name := sys + "/" + core.String()
+			if sel != "all" && !strings.Contains(name, sel) {
+				continue
+			}
+			for _, bench := range workload.Names() {
+				if b := os.Getenv("SF_HUNT_BENCH"); b != "" && b != bench {
+					continue
+				}
+				cfg, err := config.ForSystem(sys, core)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Sanitize = sanitize.ModeOff
+				cfg.Workers = 1
+				r1, err := RunBenchmark(context.Background(), cfg, bench, 0.1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Workers = 2
+				r2, err := RunBenchmark(context.Background(), cfg, bench, 0.1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r1.Stats.Cycles != r2.Stats.Cycles || r1.Stats.TotalFlitHops() != r2.Stats.TotalFlitHops() {
+					t.Errorf("DIVERGE %s/%s: cycles %d vs %d, hops %d vs %d",
+						name, bench, r1.Stats.Cycles, r2.Stats.Cycles,
+						r1.Stats.TotalFlitHops(), r2.Stats.TotalFlitHops())
+				} else {
+					t.Logf("ok %s/%s", name, bench)
+				}
+			}
+		}
+	}
+}

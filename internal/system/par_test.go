@@ -1,0 +1,207 @@
+package system
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"testing"
+
+	"streamfloat/internal/config"
+	"streamfloat/internal/event"
+	"streamfloat/internal/par"
+	"streamfloat/internal/sanitize"
+	"streamfloat/internal/stats"
+)
+
+// parConfig returns a full-size (8x8) machine with the sanitizer forced off,
+// so Build takes the partitioned-kernel path (the sanitizer requires the
+// legacy total event order; see BuildPrepared).
+func parConfig(t *testing.T, sys string) config.Config {
+	t.Helper()
+	cfg, err := config.ForSystem(sys, config.OOO8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sanitize = sanitize.ModeOff
+	return cfg
+}
+
+// TestPartitionedBuild checks the shard layout the builder produces: 64 tiles
+// partition into par.ShardsFor(64) shards, round-robin, with per-shard
+// engines; a sanitized or small machine stays unpartitioned.
+func TestPartitionedBuild(t *testing.T) {
+	cfg := parConfig(t, "SF")
+	m, err := Build(cfg, "mv", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := par.ShardsFor(cfg.Tiles())
+	if want <= 1 {
+		t.Fatalf("ShardsFor(%d) = %d, expected a partitioned machine", cfg.Tiles(), want)
+	}
+	if len(m.Shards) != want {
+		t.Fatalf("built %d shards, want %d", len(m.Shards), want)
+	}
+	for tile, sh := range m.tileShard {
+		if sh != m.Shards[par.ShardOf(tile, want)] {
+			t.Fatalf("tile %d assigned off the round-robin layout", tile)
+		}
+	}
+	for i, sh := range m.Shards {
+		if sh.Eng == m.Eng {
+			t.Fatalf("shard %d shares the root engine", i)
+		}
+		if sh.Direct() {
+			t.Fatalf("shard %d is direct on a partitioned machine", i)
+		}
+	}
+
+	san := cfg
+	san.Sanitize = sanitize.ModeOn
+	ms, err := Build(san, "mv", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Shards != nil {
+		t.Fatal("sanitized machine must stay on the legacy unpartitioned path")
+	}
+
+	small := cfg
+	small.MeshWidth, small.MeshHeight = 2, 2
+	msm, err := Build(small, "mv", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msm.Shards != nil {
+		t.Fatal("4-tile machine must stay on the legacy unpartitioned path")
+	}
+}
+
+// withProcs raises GOMAXPROCS to at least n for the duration of the test, so
+// multi-worker execution is exercised for real even on single-core CI hosts
+// (par.Group clamps workers to GOMAXPROCS).
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	if runtime.GOMAXPROCS(0) >= n {
+		return
+	}
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// runWorkers runs one benchmark on the partitioned machine with the given
+// worker count and returns the results.
+func runWorkers(t *testing.T, sys, bench string, scale float64, workers int) Results {
+	t.Helper()
+	withProcs(t, workers)
+	cfg := parConfig(t, sys)
+	cfg.Workers = workers
+	res, err := RunBenchmark(context.Background(), cfg, bench, scale)
+	if err != nil {
+		t.Fatalf("%s/%s workers=%d: %v", sys, bench, workers, err)
+	}
+	if res.Stats.Cycles == 0 || res.Stats.Iterations == 0 {
+		t.Fatalf("%s/%s workers=%d: empty run", sys, bench, workers)
+	}
+	return res
+}
+
+// TestWorkerDeterminism is the parallel kernel's core acceptance gate: the
+// figure-level spot points (a Fig 13 speedup point, a Fig 14 L3-provenance
+// point, a Fig 15 traffic point) must produce bit-identical Results for every
+// worker count, including the sequential workers=1 drive of the same shards.
+func TestWorkerDeterminism(t *testing.T) {
+	points := []struct{ sys, bench string }{
+		{"SF", "mv"},      // Fig 13: speedup spot point
+		{"SF", "bfs"},     // Fig 14: L3 request provenance (indirect floats)
+		{"Base", "conv3d"}, // Fig 15: NoC traffic spot point
+	}
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	for _, pt := range points {
+		pt := pt
+		t.Run(pt.sys+"/"+pt.bench, func(t *testing.T) {
+			ref := runWorkers(t, pt.sys, pt.bench, 0.02, counts[0])
+			ref.Config.Workers = 0
+			for _, w := range counts[1:] {
+				got := runWorkers(t, pt.sys, pt.bench, 0.02, w)
+				got.Config.Workers = 0 // the knob itself is the only allowed difference
+				if !reflect.DeepEqual(ref, got) {
+					t.Errorf("workers=%d diverges from workers=%d:\n ref: %+v\n got: %+v",
+						w, counts[0], ref.Stats, got.Stats)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersKnobOutsideCacheKey: Workers is an execution knob — it must not
+// change the canonical encoding or the result-cache key.
+func TestWorkersKnobOutsideCacheKey(t *testing.T) {
+	a := parConfig(t, "SF")
+	b := a
+	b.Workers = 8
+	if !reflect.DeepEqual(a.CanonicalBytes(), b.CanonicalBytes()) {
+		t.Error("Workers changed CanonicalBytes")
+	}
+	ka := CacheKey(a, "mv", 0.5)
+	kb := CacheKey(b, "mv", 0.5)
+	if ka != kb {
+		t.Errorf("Workers changed the cache key: %s vs %s", ka, kb)
+	}
+}
+
+// TestShardWorkerProfileLabels: the parallel kernel's worker goroutines must
+// carry pprof labels (shard-worker id plus the benchmark), so CPU profiles of
+// a sweep attribute simulation time to what is being simulated. The goroutine
+// profile is snapshotted mid-run, from a phase barrier, while the helper
+// workers are alive and spinning.
+func TestShardWorkerProfileLabels(t *testing.T) {
+	withProcs(t, 4)
+	cfg := parConfig(t, "SF")
+	cfg.Workers = 4
+	m, err := Build(cfg, "mv", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prof bytes.Buffer
+	captured := false
+	m.SetPhaseHook(func(int, event.Cycle, stats.Stats) {
+		if captured {
+			return
+		}
+		captured = true
+		if err := pprof.Lookup("goroutine").WriteTo(&prof, 1); err != nil {
+			t.Errorf("goroutine profile: %v", err)
+		}
+	})
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !captured {
+		t.Fatal("phase hook never fired")
+	}
+	out := prof.String()
+	for _, want := range []string{"shard-worker", `"benchmark":"mv"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("goroutine profile missing label %q", want)
+		}
+	}
+}
+
+// TestPartitionedCancellation: a cancelled context stops the partitioned run
+// promptly and reports the cancellation.
+func TestPartitionedCancellation(t *testing.T) {
+	cfg := parConfig(t, "SF")
+	cfg.Workers = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunBenchmark(ctx, cfg, "mv", 0.02); err == nil {
+		t.Fatal("cancelled partitioned run must report an error")
+	}
+}

@@ -10,6 +10,7 @@
 #   scripts/bench.sh                 # next index, full suite, count=5
 #   scripts/bench.sh 2               # explicit index
 #   scripts/bench.sh 2 'Fig13|SingleRun|ScheduleFire' 5
+#   scripts/bench.sh 4 'Fig13Workers' 3   # parallel-kernel scaling (1/2/4 workers)
 #
 # Compare two trajectory points (or use benchstat on the raw files):
 #   go run ./scripts/benchjson -compare BENCH_1.json BENCH_2.json
