@@ -13,6 +13,11 @@
 //	                   (or {"config":{...},"benchmark":"mv","scale":0.25} for
 //	                   arbitrary sweep points shipped by a cluster client)
 //	GET  /figure/13?scale=0.05&bench=nn,conv3d&format=csv
+//	POST /jobs         async sweep submission: returns a job id immediately;
+//	                   poll GET /jobs/{id}, fetch GET /jobs/{id}/result,
+//	                   cancel with DELETE /jobs/{id}. With -journal, jobs
+//	                   survive a crash and resume from the last completed
+//	                   point on restart.
 //	GET  /healthz
 //	GET  /metrics      (includes per-origin request counters keyed by the
 //	                   X-SF-Origin header, so backend load is attributable
@@ -52,6 +57,7 @@ func run() error {
 		addr         = flag.String("addr", ":8080", "listen address")
 		cacheDir     = flag.String("cache", "", "result-cache directory (empty = in-memory only)")
 		cacheEntries = flag.Int("cache-entries", 0, "max in-memory cached results (0 = default)")
+		journalDir   = flag.String("journal", "", "async-job journal directory: jobs submitted via POST /jobs survive restarts and resume from their last completed point (pair with -cache so results persist too)")
 		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 64, "queued jobs before 429 backpressure")
 		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job wall-clock cap")
@@ -63,11 +69,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var journal *serve.Journal
+	if *journalDir != "" {
+		if *cacheDir == "" {
+			log.Printf("warning: -journal without -cache: resumed jobs will recompute every point (results are not persisted)")
+		}
+		journal, err = serve.OpenJournal(*journalDir)
+		if err != nil {
+			return err
+		}
+	}
 	handler := serve.NewServer(serve.Config{
 		Store:      store,
 		Workers:    *workers,
 		QueueDepth: *queue,
 		JobTimeout: *jobTimeout,
+		Journal:    journal,
 	})
 	srv := &http.Server{Addr: *addr, Handler: handler}
 
@@ -87,6 +104,13 @@ func run() error {
 		handler.Drain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		// Async jobs outlive their submitting request, so Shutdown alone
+		// would not wait for them. Journaled jobs that miss the window
+		// resume on the next start; unjournaled ones are lost, so give
+		// them the same drain budget as in-flight requests.
+		if err := handler.WaitJobs(ctx); err != nil {
+			log.Printf("drain window expired with async jobs still running")
+		}
 		if err := srv.Shutdown(ctx); err != nil {
 			return err
 		}

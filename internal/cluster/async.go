@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"streamfloat/internal/serve"
+	"streamfloat/internal/system"
+)
+
+// useAsync reports whether the next point should be driven through the
+// backend's async job API. The synchronous path stays the default for small
+// jobs; once enough successful requests have been observed and their p99
+// exceeds the threshold, points are long enough that a blocking /run is the
+// wrong shape (idle connections, no progress, no crash-safety) and the
+// client switches over.
+func (c *Client) useAsync() bool {
+	if c.cfg.AsyncThreshold < 0 {
+		return false
+	}
+	p99, n := c.lat.p99()
+	return n >= hedgeMinSamples && p99 > c.cfg.AsyncThreshold
+}
+
+// runRemoteAsync drives one point through a backend's async job API:
+// submit, poll with backoff, fetch the result, validate its canonical key.
+// Cancellation propagates to the backend: on a dead ctx the job is
+// best-effort DELETEd so the backend aborts the simulation instead of
+// finishing it for a ghost.
+func (c *Client) runRemoteAsync(ctx context.Context, backend int, key string, job serve.JobRequest) (system.Results, error) {
+	id, err := c.asyncSubmit(ctx, backend, job)
+	if err != nil {
+		return system.Results{}, err
+	}
+	c.asyncJobs.Add(1)
+
+	poll := c.cfg.PollInterval
+	pollFails := 0
+	for {
+		if err := sleepCtx(ctx, poll); err != nil {
+			c.asyncCancel(backend, id)
+			return system.Results{}, err
+		}
+		st, err := c.asyncStatus(ctx, backend, id)
+		if err != nil {
+			if ctx.Err() != nil {
+				c.asyncCancel(backend, id)
+				return system.Results{}, ctx.Err()
+			}
+			// Tolerate a few dropped polls — a blip must not abandon a
+			// long-running job — but give up on a persistently unreachable
+			// backend so the outer retry loop can fail over.
+			if pollFails++; pollFails >= asyncMaxPollFails {
+				return system.Results{}, fmt.Errorf("async job %s: polling failed: %w", id, err)
+			}
+			continue
+		}
+		pollFails = 0
+		switch st.State {
+		case serve.JobDone:
+			return c.asyncResult(ctx, backend, id, key)
+		case serve.JobFailed:
+			return system.Results{}, fmt.Errorf("async job %s failed: %s", id, st.Error)
+		case serve.JobCancelled:
+			return system.Results{}, fmt.Errorf("async job %s was cancelled by the backend", id)
+		}
+		if poll = poll * 3 / 2; poll > c.cfg.PollMax {
+			poll = c.cfg.PollMax
+		}
+	}
+}
+
+// asyncMaxPollFails bounds consecutive failed status polls before the
+// attempt is abandoned to the retry/failover machinery.
+const asyncMaxPollFails = 3
+
+// asyncSubmit POSTs the point as a one-point async job and returns its id.
+func (c *Client) asyncSubmit(ctx context.Context, backend int, job serve.JobRequest) (string, error) {
+	var sub serve.SubmitResponse
+	status, err := c.doJSON(ctx, http.MethodPost, c.backends[backend]+"/jobs",
+		serve.JobSpec{Points: []serve.JobRequest{job}}, &sub)
+	if err != nil {
+		return "", err
+	}
+	if status != http.StatusAccepted && status != http.StatusOK {
+		return "", fmt.Errorf("submit: unexpected status %d", status)
+	}
+	if sub.ID == "" {
+		return "", fmt.Errorf("submit: backend returned no job id")
+	}
+	return sub.ID, nil
+}
+
+// asyncStatus fetches one job's status.
+func (c *Client) asyncStatus(ctx context.Context, backend int, id string) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	status, err := c.doJSON(ctx, http.MethodGet, c.backends[backend]+"/jobs/"+id, nil, &st)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	if status != http.StatusOK {
+		return serve.JobStatus{}, fmt.Errorf("status %d", status)
+	}
+	return st, nil
+}
+
+// asyncResult fetches a done job's result and validates the point's
+// canonical key, exactly like the synchronous path.
+func (c *Client) asyncResult(ctx context.Context, backend int, id, key string) (system.Results, error) {
+	var res serve.JobResult
+	status, err := c.doJSON(ctx, http.MethodGet, c.backends[backend]+"/jobs/"+id+"/result", nil, &res)
+	if err != nil {
+		return system.Results{}, err
+	}
+	if status != http.StatusOK {
+		return system.Results{}, fmt.Errorf("result: unexpected status %d", status)
+	}
+	if len(res.Points) != 1 {
+		return system.Results{}, fmt.Errorf("result: %d points, want 1", len(res.Points))
+	}
+	if res.Points[0].Key != key {
+		c.mismatches.Add(1)
+		return system.Results{}, fmt.Errorf("canonical key mismatch (got %.16s…, want %.16s…): backend runs a different encoding version", res.Points[0].Key, key)
+	}
+	return res.Points[0].Results, nil
+}
+
+// asyncCancel best-effort DELETEs an abandoned job so the backend stops
+// simulating for a caller that is gone. It runs on its own short deadline —
+// the caller's ctx is already dead.
+func (c *Client) asyncCancel(backend int, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, _ = c.doJSON(ctx, http.MethodDelete, c.backends[backend]+"/jobs/"+id, nil, nil)
+}
+
+// doJSON performs one JSON request/response round trip under the per-call
+// RequestTimeout. out may be nil to discard the body; the returned status
+// is valid whenever err is nil.
+func (c *Client) doJSON(ctx context.Context, method, url string, in, out any) (int, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return 0, err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return 0, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(OriginHeader, c.cfg.Origin)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= http.StatusBadRequest {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding response: %w", err)
+		}
+	}
+	// Drain any trailing bytes so the connection returns to the pool.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}

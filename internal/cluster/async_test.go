@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamfloat/internal/config"
+	"streamfloat/internal/serve"
+	"streamfloat/internal/system"
+)
+
+// TestClusterAsyncPath: once enough synchronous requests establish an
+// observed p99 above the threshold, the client drives subsequent points
+// through the backend's async job API — and still returns the same results.
+func TestClusterAsyncPath(t *testing.T) {
+	backend := newBackend(t, stubRunner("async-ok", 0))
+	c, err := New(Config{
+		Backends:       []string{backend.URL},
+		HedgeDelay:     -1,
+		AsyncThreshold: time.Nanosecond, // any observed p99 exceeds it
+		PollInterval:   time.Millisecond,
+		PollMax:        5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	cfg := config.Default()
+	point := func(scale float64) system.Results {
+		t.Helper()
+		key := system.CacheKey(cfg, "nn", scale)
+		res, err := c.DoPoint(context.Background(), key, cfg, "nn", scale, func() (system.Results, error) {
+			t.Error("local compute ran during a remote-served point")
+			return system.Results{}, nil
+		})
+		if err != nil {
+			t.Fatalf("DoPoint(scale=%v): %v", scale, err)
+		}
+		return res
+	}
+
+	// The first hedgeMinSamples points stay synchronous: the latency window
+	// is still cold, so the async switch must not engage.
+	for i := 0; i < hedgeMinSamples; i++ {
+		point(0.01 + 0.01*float64(i))
+	}
+	if st := c.Stats(); st.AsyncJobs != 0 {
+		t.Fatalf("async engaged while cold: %+v", st)
+	}
+
+	// The next point goes through POST /jobs + polling + the result fetch.
+	res := point(0.5)
+	if res.Benchmark != "async-ok" {
+		t.Errorf("async result %q, want %q", res.Benchmark, "async-ok")
+	}
+	st := c.Stats()
+	if st.AsyncJobs != 1 {
+		t.Errorf("async jobs = %d, want 1", st.AsyncJobs)
+	}
+	if st.Remote != uint64(hedgeMinSamples)+1 {
+		t.Errorf("remote = %d, want %d (async points still count as remote)", st.Remote, hedgeMinSamples+1)
+	}
+	if st.Fallbacks != 0 || st.Mismatches != 0 {
+		t.Errorf("async path degraded: %+v", st)
+	}
+}
+
+// TestClusterAsyncDisabled: a negative threshold pins every point to the
+// synchronous path no matter what the latency window says.
+func TestClusterAsyncDisabled(t *testing.T) {
+	backend := newBackend(t, stubRunner("sync-ok", 0))
+	c, err := New(Config{
+		Backends:       []string{backend.URL},
+		HedgeDelay:     -1,
+		AsyncThreshold: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	cfg := config.Default()
+	for i := 0; i < hedgeMinSamples+2; i++ {
+		scale := 0.01 + 0.01*float64(i)
+		key := system.CacheKey(cfg, "nn", scale)
+		if _, err := c.DoPoint(context.Background(), key, cfg, "nn", scale, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.AsyncJobs != 0 {
+		t.Errorf("async jobs = %d with AsyncThreshold < 0, want 0", st.AsyncJobs)
+	}
+}
+
+// echoBackend is a raw /run handler that computes the canonical key from the
+// shipped config (so the client's key validation passes) and tracks how many
+// requests are in flight — the observable the reap regression tests need.
+func echoBackend(t *testing.T, marker string, inFlight *atomic.Int64, behave func(r *http.Request) int) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inFlight.Add(1)
+		defer inFlight.Add(-1)
+		var job serve.JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&job); err != nil || job.Config == nil {
+			http.Error(w, "bad body", http.StatusBadRequest)
+			return
+		}
+		if code := behave(r); code != http.StatusOK {
+			http.Error(w, "injected", code)
+			return
+		}
+		json.NewEncoder(w).Encode(serve.JobResponse{
+			Key:     system.CacheKey(*job.Config, job.Benchmark, job.Scale),
+			Results: system.Results{Benchmark: marker},
+		})
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// waitDrained polls until no handler request is in flight and the goroutine
+// count has settled back to (at most) its pre-attempt level plus slack.
+// Idle keep-alive connections are closed while polling: their read/write
+// loops are pooled transport state, not leaked attempt goroutines, and would
+// otherwise mask (or mimic) a real leak.
+func waitDrained(t *testing.T, c *Client, inFlight *atomic.Int64, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.Close()
+		if inFlight.Load() == 0 && runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("loser not reaped: %d requests in flight, %d goroutines (baseline %d)",
+				inFlight.Load(), runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClusterHedgeLoserReapedWinnerEarly is the regression test for the
+// hedge leak: when the hedge copy wins, the slow primary's request must be
+// cancelled AND its goroutine reaped before the attempt returns — previously
+// the winner returned immediately and the loser's goroutine (and the HTTP
+// connection its round trip held) lingered unobserved.
+func TestClusterHedgeLoserReapedWinnerEarly(t *testing.T) {
+	var inFlight atomic.Int64
+	cancelled := make(chan struct{}, 1)
+	slow := echoBackend(t, "slow", &inFlight, func(r *http.Request) int {
+		<-r.Context().Done() // blocks until the client cancels the loser
+		select {
+		case cancelled <- struct{}{}:
+		default:
+		}
+		return http.StatusInternalServerError
+	})
+	fast := echoBackend(t, "fast", &inFlight, func(*http.Request) int { return http.StatusOK })
+	c, err := New(Config{
+		Backends:   []string{slow.URL, fast.URL},
+		HedgeDelay: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	cfg := config.Default()
+	scale := shardScales(t, c, cfg, "nn", 0, 1)[0] // primary = slow backend
+	key := system.CacheKey(cfg, "nn", scale)
+	baseline := runtime.NumGoroutine()
+	res, err := c.DoPoint(context.Background(), key, cfg, "nn", scale, nil)
+	if err != nil {
+		t.Fatalf("DoPoint: %v", err)
+	}
+	if res.Benchmark != "fast" {
+		t.Errorf("result %q, want the hedge's %q", res.Benchmark, "fast")
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("the losing request was never cancelled")
+	}
+	waitDrained(t, c, &inFlight, baseline)
+	if st := c.Stats(); st.Hedges != 1 || st.HedgeWins != 1 || st.Remote != 1 {
+		t.Errorf("stats %+v, want one hedged win counted once", st)
+	}
+}
+
+// TestClusterHedgeBothFailReaped: when the primary and the hedge both fail,
+// the attempt consumes both outcomes before giving up — no goroutine
+// outlives it — and the point still completes via local fallback.
+func TestClusterHedgeBothFailReaped(t *testing.T) {
+	var inFlight atomic.Int64
+	fail := func(r *http.Request) int {
+		// Outlive the hedge delay so both copies are launched and both fail.
+		select {
+		case <-time.After(30 * time.Millisecond):
+		case <-r.Context().Done():
+		}
+		return http.StatusInternalServerError
+	}
+	b0 := echoBackend(t, "b0", &inFlight, fail)
+	b1 := echoBackend(t, "b1", &inFlight, fail)
+	c, err := New(Config{
+		Backends:    []string{b0.URL, b1.URL},
+		HedgeDelay:  5 * time.Millisecond,
+		MaxAttempts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	cfg := config.Default()
+	scale := shardScales(t, c, cfg, "nn", 0, 1)[0]
+	key := system.CacheKey(cfg, "nn", scale)
+	want := system.Results{Benchmark: "local-fallback"}
+	baseline := runtime.NumGoroutine()
+	res, err := c.DoPoint(context.Background(), key, cfg, "nn", scale, func() (system.Results, error) {
+		return want, nil
+	})
+	if err != nil {
+		t.Fatalf("DoPoint: %v", err)
+	}
+	if res.Benchmark != want.Benchmark {
+		t.Errorf("result %q, want the local fallback", res.Benchmark)
+	}
+	waitDrained(t, c, &inFlight, baseline)
+	st := c.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 0 || st.Fallbacks != 1 {
+		t.Errorf("stats %+v, want one failed hedge degrading to local compute", st)
+	}
+}
+
+// TestClusterP99NearestRank is the regression test for the latency window
+// feeding the hedge delay and the async switch: truncating int(0.99*(n-1))
+// returned the window minimum for small n, so two samples reported the
+// fastest request as the p99.
+func TestClusterP99NearestRank(t *testing.T) {
+	var l latencyWindow
+	if d, n := l.p99(); d != 0 || n != 0 {
+		t.Errorf("empty window = (%v, %d), want (0, 0)", d, n)
+	}
+	l.record(7 * time.Millisecond)
+	if d, n := l.p99(); d != 7*time.Millisecond || n != 1 {
+		t.Errorf("one sample = (%v, %d), want (7ms, 1)", d, n)
+	}
+	l.record(time.Millisecond)
+	if d, n := l.p99(); d != 7*time.Millisecond || n != 2 {
+		t.Errorf("two samples = (%v, %d), want the maximum 7ms (the old truncation reported the minimum)", d, n)
+	}
+	var big latencyWindow
+	for i := 1; i <= 100; i++ {
+		big.record(time.Duration(i) * time.Millisecond)
+	}
+	if d, _ := big.p99(); d != 99*time.Millisecond {
+		t.Errorf("1..100ms p99 = %v, want 99ms", d)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand/v2"
 	"net/http"
 	"net/url"
@@ -70,6 +71,22 @@ type Config struct {
 	FailThreshold int
 	EjectFor      time.Duration
 
+	// AsyncThreshold selects when points are driven through the backend's
+	// async job API (POST /jobs, then status polling with backoff, then the
+	// result fetch) instead of one blocking POST /run: once the observed
+	// p99 of recent successful requests exceeds the threshold, subsequent
+	// points go async — long simulations then survive proxy idle timeouts
+	// and report per-point progress, while small jobs keep the cheap
+	// synchronous path. 0 picks 30s; negative disables the async path.
+	// Async attempts are never hedged (a hedge would run the whole
+	// simulation twice on two backends).
+	AsyncThreshold time.Duration
+
+	// PollInterval seeds the async status-polling cadence (<= 0 picks
+	// 250ms); successive polls back off 1.5x up to PollMax (<= 0 picks 5s).
+	PollInterval time.Duration
+	PollMax      time.Duration
+
 	// Local, when non-nil, handles local fallback computes (and plain Do
 	// calls) — typically a *serve.Store so even degraded points are cached.
 	// nil falls back to computing without caching.
@@ -104,6 +121,7 @@ type Client struct {
 	hedgeWins  atomic.Uint64 // points won by the hedge copy
 	mismatches atomic.Uint64 // responses whose key did not match (version skew)
 	fallbacks  atomic.Uint64 // points degraded to local compute
+	asyncJobs  atomic.Uint64 // points driven through the async job API
 }
 
 // Stats is a snapshot of the client's counters.
@@ -114,6 +132,7 @@ type Stats struct {
 	HedgeWins  uint64 `json:"hedge_wins"` // points won by the hedge copy
 	Mismatches uint64 `json:"mismatches"` // key-mismatched responses (skew)
 	Fallbacks  uint64 `json:"fallbacks"`  // points degraded to local compute
+	AsyncJobs  uint64 `json:"async_jobs"` // points driven via the async job API
 	Ejections  uint64 `json:"ejections"`  // backend ejection events
 }
 
@@ -140,6 +159,15 @@ func New(cfg Config) (*Client, error) {
 	}
 	if cfg.EjectFor <= 0 {
 		cfg.EjectFor = 15 * time.Second
+	}
+	if cfg.AsyncThreshold == 0 {
+		cfg.AsyncThreshold = 30 * time.Second
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 250 * time.Millisecond
+	}
+	if cfg.PollMax <= 0 {
+		cfg.PollMax = 5 * time.Second
 	}
 	if cfg.Origin == "" {
 		cfg.Origin = "sfexp"
@@ -184,6 +212,7 @@ func (c *Client) Stats() Stats {
 		HedgeWins:  c.hedgeWins.Load(),
 		Mismatches: c.mismatches.Load(),
 		Fallbacks:  c.fallbacks.Load(),
+		AsyncJobs:  c.asyncJobs.Load(),
 		Ejections:  c.health.ejectionCount(),
 	}
 }
@@ -273,9 +302,28 @@ type outcome struct {
 
 // attempt sends the job to primary and, if no response arrives within the
 // hedge delay, a second copy to hedgeTo (-1 disables). The first usable
-// response wins and the other request is cancelled; its health outcome is
-// not recorded, since a cancellation says nothing about the backend.
+// response wins; the loser is cancelled AND reaped — attempt does not return
+// until every launched request has delivered its outcome, so no goroutine
+// (or the HTTP connection its round trip holds) outlives the attempt. A
+// reaped loser's health outcome is not recorded, since a cancellation we
+// initiated says nothing about the backend.
+//
+// Points routed through the async job API skip hedging entirely: a hedge
+// copy of an async job would journal and run the whole simulation twice.
 func (c *Client) attempt(ctx context.Context, primary, hedgeTo int, key string, job serve.JobRequest) (system.Results, error) {
+	if c.useAsync() {
+		res, err := c.runRemoteAsync(ctx, primary, key, job)
+		if err == nil {
+			c.health.success(primary)
+		} else if ctx.Err() == nil || !isCtxErr(err) {
+			c.health.failure(primary)
+		}
+		if err != nil {
+			err = fmt.Errorf("backend %s: %w", c.backends[primary], err)
+		}
+		return res, err
+	}
+
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	ch := make(chan outcome, 2)
@@ -306,6 +354,15 @@ func (c *Client) attempt(ctx context.Context, primary, hedgeTo int, key string, 
 				c.health.success(o.backend)
 				if o.hedged {
 					c.hedgeWins.Add(1)
+				}
+				// Reap the loser: cancel its request and wait for its
+				// outcome before returning. Without the drain the loser's
+				// goroutine — and the connection its round trip holds —
+				// would linger past the attempt, unobserved.
+				cancel()
+				for inFlight > 0 {
+					<-ch
+					inFlight--
 				}
 				return o.res, nil
 			}
@@ -437,7 +494,10 @@ func (l *latencyWindow) record(d time.Duration) {
 }
 
 // p99 returns the 99th-percentile latency over the window and the number of
-// samples recorded so far.
+// samples recorded so far. The rank is nearest-rank (ceil(q*n)) over a
+// sorted copy snapshotted under the lock: truncating q*(n-1) would pick the
+// window minimum for small n and understate the tail the hedge delay (and
+// the async-path switch) key off.
 func (l *latencyWindow) p99() (time.Duration, int) {
 	l.mu.Lock()
 	n := l.n
@@ -452,5 +512,12 @@ func (l *latencyWindow) p99() (time.Duration, int) {
 		return 0, 0
 	}
 	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
-	return vals[int(0.99*float64(n-1))], total
+	i := int(math.Ceil(0.99*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return vals[i], total
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"streamfloat/internal/config"
 	"streamfloat/internal/energy"
@@ -67,6 +68,12 @@ type Options struct {
 	// scale) points are served from the cache instead of re-simulating, and
 	// concurrent identical requests share one simulation.
 	Cache ResultCache
+	// Progress, when non-nil, receives a snapshot after every point start
+	// and completion: cumulative started/completed/cached/failed counts, the
+	// point's canonical cache key, and an estimated remaining wall time
+	// derived from observed per-point wall times. The serve job layer uses
+	// it for async job status, and sfexp -resume for its sweep journal.
+	Progress ProgressFunc
 
 	// figure names the figure being regenerated, for pprof labels on the
 	// sweep's goroutines. Set by runFigure; ad-hoc runAll callers show up
@@ -254,6 +261,7 @@ func runAll(ctx context.Context, opts Options, keys []runKey) ([]system.Results,
 	errs := make([]error, len(keys))
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	prog := newProgressTracker(opts.Progress, len(keys), par)
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	for i, k := range keys {
@@ -270,7 +278,7 @@ func runAll(ctx context.Context, opts Options, keys []runKey) ([]system.Results,
 				"benchmark", k.bench,
 				"config", k.system+"/"+k.core.String(),
 			), func(ctx context.Context) {
-				runPoint(ctx, cancel, opts, k, &results[i], &errs[i])
+				runPoint(ctx, cancel, opts, prog, k, &results[i], &errs[i])
 			})
 		}(i, k)
 	}
@@ -279,7 +287,7 @@ func runAll(ctx context.Context, opts Options, keys []runKey) ([]system.Results,
 }
 
 // runPoint simulates (or fetches) one point of a sweep.
-func runPoint(ctx context.Context, cancel context.CancelFunc, opts Options, k runKey, result *system.Results, errp *error) {
+func runPoint(ctx context.Context, cancel context.CancelFunc, opts Options, prog *progressTracker, k runKey, result *system.Results, errp *error) {
 	defer func() {
 		if *errp != nil {
 			cancel()
@@ -300,7 +308,13 @@ func runPoint(ctx context.Context, cancel context.CancelFunc, opts Options, k ru
 	if k.mutate != nil {
 		k.mutate(&cfg)
 	}
+	var key string
+	if opts.Cache != nil || prog != nil {
+		key = system.CacheKey(cfg, k.bench, opts.scale())
+	}
+	computed := false
 	run := func() (system.Results, error) {
+		computed = true
 		if cfg.Sample.Enabled() {
 			est, err := sample.RunEstimate(ctx, cfg, k.bench, opts.scale())
 			if err != nil {
@@ -311,15 +325,17 @@ func runPoint(ctx context.Context, cancel context.CancelFunc, opts Options, k ru
 		}
 		return system.RunBenchmark(ctx, cfg, k.bench, opts.scale())
 	}
+	prog.start(key)
+	begin := time.Now()
 	switch cache := opts.Cache.(type) {
 	case nil:
 		*result, *errp = run()
 	case PointCache:
-		key := system.CacheKey(cfg, k.bench, opts.scale())
 		*result, *errp = cache.DoPoint(ctx, key, cfg, k.bench, opts.scale(), run)
 	default:
-		*result, *errp = cache.Do(ctx, system.CacheKey(cfg, k.bench, opts.scale()), run)
+		*result, *errp = cache.Do(ctx, key, run)
 	}
+	prog.finish(key, *errp, *errp == nil && !computed, time.Since(begin))
 }
 
 // sweepError reduces per-run errors to the one worth reporting: the first

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/url"
 	"runtime"
@@ -38,15 +39,26 @@ type Config struct {
 	// sampled estimation when a job carries sampling parameters. Tests
 	// substitute stubs to exercise queueing and cancellation deterministically.
 	Runner func(ctx context.Context, cfg config.Config, bench string, scale float64) (system.Results, error)
+	// Journal, when non-nil, makes async jobs crash-safe: specs, state
+	// transitions, and per-point completions are appended to its on-disk
+	// journal, and NewServer resumes any unfinished journaled jobs —
+	// completed points replay from the Store (point the Journal and the
+	// Store's disk layer at durable directories for this to survive a
+	// process death). nil keeps async jobs in-memory only.
+	Journal *Journal
 }
 
 // Server is the sfserve HTTP handler: a bounded worker pool over the result
 // cache.
 //
-//	POST /run          JSON JobRequest -> JSON JobResponse (system.Results)
-//	GET  /figure/{id}  regenerate one figure (query: scale, bench, format)
-//	GET  /healthz      liveness (503 while draining)
-//	GET  /metrics      Prometheus text: queue/cache/latency counters
+//	POST /run               JSON JobRequest -> JSON JobResponse (system.Results)
+//	GET  /figure/{id}       regenerate one figure (query: scale, bench, format)
+//	POST /jobs              submit an async sweep -> 202 {id} (see JobSpec)
+//	GET  /jobs/{id}         async job status + per-point progress
+//	GET  /jobs/{id}/result  async job result once done
+//	DELETE /jobs/{id}       cancel an async job
+//	GET  /healthz           liveness (503 while draining)
+//	GET  /metrics           Prometheus text: queue/cache/latency counters
 //
 // Every job runs under the request context plus the per-job timeout, so a
 // client disconnect or deadline cancels the simulation mid-flight (the event
@@ -57,12 +69,24 @@ type Server struct {
 	queue chan struct{} // queued-or-running tickets; full = 429
 	work  chan struct{} // running tickets
 
-	queued   atomic.Int64
-	running  atomic.Int64
-	done     atomic.Uint64
-	rejected atomic.Uint64
-	failed   atomic.Uint64
-	draining atomic.Bool
+	// base parents every async job's context; kill cancels it (crash
+	// emulation / abrupt stop — see Kill).
+	base context.Context
+	kill context.CancelFunc
+
+	jobsMu sync.Mutex
+	jobs   map[string]*job
+	jobsWG sync.WaitGroup
+
+	queued         atomic.Int64
+	running        atomic.Int64
+	done           atomic.Uint64
+	rejected       atomic.Uint64
+	failed         atomic.Uint64
+	asyncSubmitted atomic.Uint64
+	asyncResumed   atomic.Uint64
+	journalErrs    atomic.Uint64
+	draining       atomic.Bool
 
 	// origins counts job submissions (/run and /figure) per requesting
 	// origin — the X-SF-Origin header a cluster client stamps on its
@@ -125,16 +149,25 @@ func NewServer(cfg Config) *Server {
 	if cfg.Runner == nil {
 		cfg.Runner = sample.Run
 	}
+	base, kill := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:   cfg,
 		mux:   http.NewServeMux(),
 		queue: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		work:  make(chan struct{}, cfg.Workers),
+		base:  base,
+		kill:  kill,
+		jobs:  map[string]*job{},
 	}
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/figure/", s.handleFigure)
+	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/jobs/", s.handleJob)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.Journal != nil {
+		s.resumeJournal()
+	}
 	return s
 }
 
@@ -355,8 +388,21 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 	s.recordOrigin(r)
 	id := strings.TrimPrefix(r.URL.Path, "/figure/")
+	// Path hygiene before any id lookup: "/figure/13/extra" is a different
+	// resource, not figure "13/extra" — 404, never an id parse. A malformed
+	// id (not numeric, not a named figure) is the caller's error: 400 with
+	// the accepted forms, instead of whatever an id-parse failure would
+	// surface.
+	if id == "" || strings.Contains(id, "/") {
+		http.Error(w, "not found (figures are served at /figure/{id})", http.StatusNotFound)
+		return
+	}
 	fn, ok := experiments.ByName(id)
 	if !ok {
+		if _, err := strconv.Atoi(id); err != nil {
+			http.Error(w, fmt.Sprintf("bad figure id %q (want a figure number or area, ablations, latency)", id), http.StatusBadRequest)
+			return
+		}
 		http.Error(w, fmt.Sprintf("unknown figure %q (want 2, 13-19, area, ablations, latency)", id), http.StatusNotFound)
 		return
 	}
@@ -499,6 +545,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("sfserve_jobs_done", s.done.Load(), "jobs completed successfully")
 	counter("sfserve_jobs_failed", s.failed.Load(), "jobs failed or cancelled")
 	counter("sfserve_jobs_rejected", s.rejected.Load(), "jobs rejected by backpressure or drain")
+	counter("sfserve_async_jobs_submitted", s.asyncSubmitted.Load(), "async jobs accepted via POST /jobs")
+	counter("sfserve_async_jobs_resumed", s.asyncResumed.Load(), "async jobs resumed from the journal at startup")
+	counter("sfserve_journal_errors", s.journalErrs.Load(), "failed best-effort journal operations")
 	counter("sfserve_cache_hits", cs.Hits, "results served from the in-memory cache")
 	counter("sfserve_cache_disk_hits", cs.DiskHits, "results served from the on-disk cache")
 	counter("sfserve_cache_misses", cs.Misses, "results computed by simulation")
@@ -546,6 +595,13 @@ func (l *latencyWindow) record(seconds float64) {
 	l.mu.Unlock()
 }
 
+// percentiles reports the p50/p99 over the recorded window: (0, 0) before
+// the first job, the single sample for both when only one exists. Quantile
+// extraction sorts a copy snapshotted under the lock — never the live ring,
+// which concurrent record calls keep mutating. Ranks are nearest-rank
+// (ceil(q*n)), so p99 reports the window maximum until the 100th sample
+// instead of understating the tail (truncating q*(n-1) picks the minimum of
+// a two-sample window for every quantile).
 func (l *latencyWindow) percentiles() (p50, p99 float64) {
 	l.mu.Lock()
 	n := l.n
@@ -560,7 +616,13 @@ func (l *latencyWindow) percentiles() (p50, p99 float64) {
 	}
 	sort.Float64s(vals)
 	at := func(q float64) float64 {
-		i := int(q * float64(n-1))
+		i := int(math.Ceil(q*float64(n))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
 		return vals[i]
 	}
 	return at(0.5), at(0.99)

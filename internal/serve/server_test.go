@@ -316,8 +316,19 @@ func TestServerFigure(t *testing.T) {
 		t.Errorf("figure re-renders did not hit the cache: %+v", s)
 	}
 
-	if code, _ := get("/figure/nope"); code != http.StatusNotFound {
-		t.Errorf("/figure/nope = %d, want 404", code)
+	// A malformed (non-numeric, non-named) id is the caller's error: 400.
+	// Unknown-but-well-formed ids and trailing path segments stay 404.
+	if code, _ := get("/figure/nope"); code != http.StatusBadRequest {
+		t.Errorf("/figure/nope = %d, want 400", code)
+	}
+	if code, _ := get("/figure/99"); code != http.StatusNotFound {
+		t.Errorf("/figure/99 = %d, want 404 (numeric but unknown)", code)
+	}
+	if code, _ := get("/figure/13/extra"); code != http.StatusNotFound {
+		t.Errorf("/figure/13/extra = %d, want 404 (trailing segment, not an id parse)", code)
+	}
+	if code, _ := get("/figure/"); code != http.StatusNotFound {
+		t.Errorf("/figure/ = %d, want 404", code)
 	}
 	if code, _ := get("/figure/13?scale=-1"); code != http.StatusBadRequest {
 		t.Errorf("bad scale = %d, want 400", code)
