@@ -33,6 +33,7 @@ import (
 	"streamfloat"
 	"streamfloat/internal/cluster"
 	"streamfloat/internal/experiments"
+	"streamfloat/internal/fault"
 	"streamfloat/internal/serve"
 )
 
@@ -71,6 +72,9 @@ func run() (err error) {
 		traceSys  = flag.String("tracesys", "SF", "system for the -trace run (Base, Stride, Bingo, SS, SF, ...)")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		keepGoing = flag.Bool("keep-going", false, "partial-results mode: a point that panics, trips a sanitizer violation, or times out is marked FAILED in the output instead of aborting the sweep")
+		pointTO   = flag.Duration("point-timeout", 0, "per-point wall-clock deadline; an overrunning simulation is cancelled and reported as a timeout (0 = none)")
+		stallTO   = flag.Duration("stall-timeout", 0, "per-point watchdog: a simulation whose event loop stops advancing for this long is killed as stuck (0 = off)")
 	)
 	flag.Parse()
 
@@ -105,7 +109,10 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
-	opts := streamfloat.ExperimentOptions{Scale: *scale, Parallelism: *par, Workers: *workers, Sanitize: sanMode}
+	opts := streamfloat.ExperimentOptions{
+		Scale: *scale, Parallelism: *par, Workers: *workers, Sanitize: sanMode,
+		KeepGoing: *keepGoing, PointTimeout: *pointTO, StallTimeout: *stallTO,
+	}
 	if *doSample {
 		opts.Sample = streamfloat.SampleParams{Intervals: *sampleK, Measure: *sampleM, Seed: *sampleSd}
 		if err := opts.Sample.Validate(); err != nil {
@@ -168,7 +175,15 @@ func run() (err error) {
 		case ok && !prev.Resumable():
 			log.Printf("resume: job %s already %s; re-running (completed points replay from the cache)", id, prev.State)
 		case ok:
-			log.Printf("resume: continuing job %s (%d points journaled complete)", id, len(prev.Points))
+			log.Printf("resume: continuing job %s (%d points journaled complete, %d quarantined)", id, len(prev.Points), len(prev.Poisoned))
+			// Seed the store's quarantine from journaled poison records so the
+			// resumed sweep skips deterministically-failing points instead of
+			// recomputing a simulation guaranteed to crash the same way.
+			if store != nil {
+				for key, pe := range prev.Poisoned {
+					store.Quarantine(key, pe)
+				}
+			}
 		default:
 			if err := journal.JobCreated(id, spec); err != nil {
 				return err
@@ -179,7 +194,17 @@ func run() (err error) {
 			return err
 		}
 		opts.Progress = func(ev experiments.ProgressEvent) {
-			if !ev.Done || ev.Err != nil || ev.Key == "" {
+			if !ev.Done || ev.Key == "" {
+				return
+			}
+			if ev.Err != nil {
+				// Deterministic failures journal as poison records: a resumed
+				// run skips the point; anything else simply re-runs.
+				if pe, ok := fault.As(ev.Err); ok && pe.Deterministic() && !pe.Quarantined {
+					if perr := journal.PointPoisoned(id, ev.Key, pe.Served()); perr != nil {
+						log.Printf("resume: journal write failed: %v", perr)
+					}
+				}
 				return
 			}
 			if perr := journal.PointDone(id, ev.Key, ev.PointCached); perr != nil {

@@ -61,6 +61,7 @@ func run() error {
 		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 64, "queued jobs before 429 backpressure")
 		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job wall-clock cap")
+		stallTimeout = flag.Duration("stall-timeout", 0, "per-point watchdog: a simulation whose event loop stops advancing for this long is killed as stuck (0 = off)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown window on SIGTERM")
 	)
 	flag.Parse()
@@ -80,11 +81,12 @@ func run() error {
 		}
 	}
 	handler := serve.NewServer(serve.Config{
-		Store:      store,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
-		Journal:    journal,
+		Store:        store,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		JobTimeout:   *jobTimeout,
+		StallTimeout: *stallTimeout,
+		Journal:      journal,
 	})
 	srv := &http.Server{Addr: *addr, Handler: handler}
 

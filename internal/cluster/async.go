@@ -66,6 +66,18 @@ func (c *Client) runRemoteAsync(ctx context.Context, backend int, key string, jo
 		case serve.JobDone:
 			return c.asyncResult(ctx, backend, id, key)
 		case serve.JobFailed:
+			// A structured deterministic fault means the backend quarantined
+			// the point: surface it typed, exactly like a synchronous 422, so
+			// the retry/failover machinery knows the failure travels with the
+			// point and not the backend.
+			if st.Fault != nil && st.Fault.Kind.Deterministic() {
+				pe := *st.Fault
+				pe.Quarantined = true
+				if pe.Key == "" {
+					pe.Key = key
+				}
+				return system.Results{}, &pe
+			}
 			return system.Results{}, fmt.Errorf("async job %s failed: %s", id, st.Error)
 		case serve.JobCancelled:
 			return system.Results{}, fmt.Errorf("async job %s was cancelled by the backend", id)

@@ -31,6 +31,17 @@ const (
 	// body under the full Content-Length, then kills the connection — the
 	// client sees an unexpected EOF mid-body.
 	FaultTruncate
+	// FaultHang accepts the request and then never responds: the connection
+	// stays open, silent, until the client gives up. This is the stand-in
+	// for a livelocked backend — only a client-side timeout (or watchdog)
+	// detects it, unlike FaultDrop's immediate transport error.
+	FaultHang
+	// FaultPanic mimics a backend whose handler panicked mid-response: it
+	// promises a body via Content-Length, writes the first few bytes of a
+	// JSON object, then severs the connection. Distinct from FaultTruncate
+	// in that no backend is contacted and the partial body is garbage, not a
+	// prefix of a real response.
+	FaultPanic
 )
 
 func (f Fault) String() string {
@@ -45,6 +56,10 @@ func (f Fault) String() string {
 		return "5xx"
 	case FaultTruncate:
 		return "truncate"
+	case FaultHang:
+		return "hang"
+	case FaultPanic:
+		return "panic"
 	}
 	return "Fault(" + strconv.Itoa(int(f)) + ")"
 }
@@ -63,7 +78,7 @@ type Proxy struct {
 	client *http.Client
 
 	n        atomic.Int64 // requests seen
-	injected [FaultTruncate + 1]atomic.Int64
+	injected [FaultPanic + 1]atomic.Int64
 }
 
 // New builds a proxy for target ("http://host:port"). decide is called with
@@ -101,6 +116,25 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case Fault5xx:
 		http.Error(w, "chaos: injected 503", http.StatusServiceUnavailable)
 		return
+	case FaultHang:
+		// Drain the body first: net/http only watches for a client
+		// disconnect once the request has been consumed, and without that
+		// the context would never fire and the handler would leak. Then
+		// hold the connection open, silent, until the client abandons it.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+		return
+	case FaultPanic:
+		// Promise a body, emit a fragment of one, then sever the connection
+		// mid-stream — what a client sees when a backend handler panics
+		// after its first write.
+		w.Header().Set("Content-Length", "1024")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"key":`)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
 	case FaultDelay:
 		select {
 		case <-time.After(d.Delay):

@@ -19,6 +19,7 @@ import (
 
 	"streamfloat/internal/config"
 	"streamfloat/internal/experiments"
+	"streamfloat/internal/fault"
 	"streamfloat/internal/sanitize"
 	"streamfloat/internal/serve"
 	"streamfloat/internal/system"
@@ -122,6 +123,7 @@ type Client struct {
 	mismatches atomic.Uint64 // responses whose key did not match (version skew)
 	fallbacks  atomic.Uint64 // points degraded to local compute
 	asyncJobs  atomic.Uint64 // points driven through the async job API
+	poisoned   atomic.Uint64 // points rejected as quarantined by a backend
 }
 
 // Stats is a snapshot of the client's counters.
@@ -133,6 +135,7 @@ type Stats struct {
 	Mismatches uint64 `json:"mismatches"` // key-mismatched responses (skew)
 	Fallbacks  uint64 `json:"fallbacks"`  // points degraded to local compute
 	AsyncJobs  uint64 `json:"async_jobs"` // points driven via the async job API
+	Poisoned   uint64 `json:"poisoned"`   // points rejected as quarantined
 	Ejections  uint64 `json:"ejections"`  // backend ejection events
 }
 
@@ -213,6 +216,7 @@ func (c *Client) Stats() Stats {
 		Mismatches: c.mismatches.Load(),
 		Fallbacks:  c.fallbacks.Load(),
 		AsyncJobs:  c.asyncJobs.Load(),
+		Poisoned:   c.poisoned.Load(),
 		Ejections:  c.health.ejectionCount(),
 	}
 }
@@ -278,6 +282,15 @@ func (c *Client) DoPoint(ctx context.Context, key string, cfg config.Config, ben
 			c.remote.Add(1)
 			return res, nil
 		}
+		// A quarantined point is an authoritative negative answer, not a
+		// backend failure: the simulation deterministically panics or trips a
+		// sanitizer violation, so retrying, failing over, or recomputing
+		// locally would just reproduce the crash (and, for a local fallback,
+		// take down this process's sweep worker's budget for nothing).
+		if fault.IsPoisoned(err) {
+			c.poisoned.Add(1)
+			return system.Results{}, err
+		}
 		if ctx.Err() != nil {
 			return system.Results{}, ctx.Err()
 		}
@@ -313,12 +326,17 @@ type outcome struct {
 func (c *Client) attempt(ctx context.Context, primary, hedgeTo int, key string, job serve.JobRequest) (system.Results, error) {
 	if c.useAsync() {
 		res, err := c.runRemoteAsync(ctx, primary, key, job)
-		if err == nil {
+		switch {
+		case err == nil:
 			c.health.success(primary)
-		} else if ctx.Err() == nil || !isCtxErr(err) {
+		case fault.IsPoisoned(err):
+			// A typed quarantine response is the backend answering
+			// authoritatively, not failing: it counts as a healthy response.
+			c.health.success(primary)
+		case ctx.Err() == nil || !isCtxErr(err):
 			c.health.failure(primary)
 		}
-		if err != nil {
+		if err != nil && !fault.IsPoisoned(err) {
 			err = fmt.Errorf("backend %s: %w", c.backends[primary], err)
 		}
 		return res, err
@@ -350,21 +368,23 @@ func (c *Client) attempt(ctx context.Context, primary, hedgeTo int, key string, 
 			go send(hedgeTo, true)
 		case o := <-ch:
 			inFlight--
-			if o.err == nil {
+			if o.err == nil || fault.IsPoisoned(o.err) {
+				// A quarantined point is as authoritative as a result: the
+				// backend answered definitively, so it counts as healthy and
+				// any in-flight hedge copy is cancelled and reaped just like
+				// after a win — without the drain the loser's goroutine (and
+				// the connection its round trip holds) would linger past the
+				// attempt, unobserved.
 				c.health.success(o.backend)
-				if o.hedged {
+				if o.err == nil && o.hedged {
 					c.hedgeWins.Add(1)
 				}
-				// Reap the loser: cancel its request and wait for its
-				// outcome before returning. Without the drain the loser's
-				// goroutine — and the connection its round trip holds —
-				// would linger past the attempt, unobserved.
 				cancel()
 				for inFlight > 0 {
 					<-ch
 					inFlight--
 				}
-				return o.res, nil
+				return o.res, o.err
 			}
 			// Don't hold a backend accountable for a cancellation we (or
 			// the caller) initiated.
@@ -402,6 +422,15 @@ func (c *Client) runRemote(ctx context.Context, backend int, key string, job ser
 		return system.Results{}, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusUnprocessableEntity {
+		// The backend quarantined this point: its body is the structured
+		// fault record. Surface it typed so DoPoint knows not to retry, fail
+		// over, or recompute a simulation that deterministically crashes.
+		if pe := decodePoison(resp.Body, key); pe != nil {
+			return system.Results{}, pe
+		}
+		return system.Results{}, fmt.Errorf("status %d: malformed quarantine response", resp.StatusCode)
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return system.Results{}, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
@@ -416,6 +445,26 @@ func (c *Client) runRemote(ctx context.Context, backend int, key string, job ser
 	}
 	c.lat.record(time.Since(start))
 	return jr.Results, nil
+}
+
+// decodePoison parses a backend's 422 quarantine body into a typed
+// *fault.PointError. nil means the body is not a valid deterministic fault
+// record (version skew, an intermediary rewriting the body) and the caller
+// should fall back to a generic status error — which stays retryable, the
+// safe direction to fail in.
+func decodePoison(body io.Reader, key string) *fault.PointError {
+	var pe fault.PointError
+	if err := json.NewDecoder(io.LimitReader(body, 1<<20)).Decode(&pe); err != nil {
+		return nil
+	}
+	if !pe.Kind.Deterministic() {
+		return nil
+	}
+	pe.Quarantined = true
+	if pe.Key == "" {
+		pe.Key = key
+	}
+	return &pe
 }
 
 // backoff computes the pre-retry wait: exponential from BaseBackoff, capped

@@ -20,6 +20,7 @@ import (
 
 	"streamfloat/internal/config"
 	"streamfloat/internal/energy"
+	"streamfloat/internal/fault"
 	"streamfloat/internal/sample"
 	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
@@ -74,6 +75,25 @@ type Options struct {
 	// derived from observed per-point wall times. The serve job layer uses
 	// it for async job status, and sfexp -resume for its sweep journal.
 	Progress ProgressFunc
+	// KeepGoing completes the sweep with failed points marked instead of
+	// cancelling the fan-out on the first failure: failures are recorded in
+	// Failures (and as table footnotes by the figure runners), failed points
+	// contribute zero Results to derived metrics, and the sweep only errors
+	// when the caller's context is cancelled or every point failed.
+	KeepGoing bool
+	// PointTimeout bounds each point's wall-clock time; past it the point is
+	// cancelled and fails with a timeout PointError. 0 disables the deadline.
+	PointTimeout time.Duration
+	// StallTimeout arms the per-point stall watchdog: a point whose event
+	// loop stops advancing simulated time for this long — hung before its
+	// loop, or livelocked inside it — is cancelled and fails with a stuck
+	// timeout PointError. 0 disables the watchdog. See fault.Guard.
+	StallTimeout time.Duration
+	// Failures, when non-nil, collects the failed points of a keep-going
+	// sweep. Figure runners provision one automatically under KeepGoing and
+	// fold its entries into the produced table; set it explicitly only to
+	// inspect raw per-point failures.
+	Failures *FailureLog
 
 	// figure names the figure being regenerated, for pprof labels on the
 	// sweep's goroutines. Set by runFigure; ad-hoc runAll callers show up
@@ -193,6 +213,10 @@ type Table struct {
 	// worst relative CI — when the sweep ran with Options.Sample enabled
 	// and computed at least one fresh point.
 	Sampling *SamplingSummary `json:"sampling,omitempty"`
+	// Failures lists the points that failed under a keep-going sweep
+	// (Options.KeepGoing); those points contributed zero Results to the
+	// table's derived metrics and are called out in Notes.
+	Failures []PointFailure `json:"failures,omitempty"`
 }
 
 func (t *Table) metric(name string, v float64) {
@@ -248,59 +272,81 @@ type runKey struct {
 	mutate func(*config.Config)
 }
 
-// runAll executes the given runs in parallel and returns results in input
-// order. The sweep is cancellable: the first simulation error (or a cancel
-// of ctx) cancels every other simulation — queued runs never start, and
-// in-flight ones abort at their next event-loop cancellation check — so a
-// failing sweep returns promptly instead of burning the rest of the fan-out
-// to completion. With opts.Cache set, each point is served from the result
-// cache by canonical key (concurrent identical points share one simulation).
-func runAll(ctx context.Context, opts Options, keys []runKey) ([]system.Results, error) {
-	par := opts.parallelism()
-	results := make([]system.Results, len(keys))
-	errs := make([]error, len(keys))
+// testFaultHook, when non-nil, runs at the top of every computed point's
+// guarded simulation closure. Tests use it to inject deterministic faults
+// (panics, hangs) into chosen points without touching the simulator; it is
+// never set outside _test.go files.
+var testFaultHook func(bench, system string, core config.CoreKind)
+
+// fanOut runs n tasks with bounded concurrency, pprof goroutine labels, and
+// panic containment: a panic escaping work is recovered into a structured
+// *fault.PointError instead of killing the process. labels(i) returns the
+// pprof key-value pairs for task i; the labels are inherited by everything
+// the task spawns, including the parallel kernel's shard workers. When
+// cancelOnErr, the first failure cancels the remaining tasks — queued ones
+// never start, in-flight ones abort at their next cancellation check;
+// otherwise every task runs to completion regardless of failures. The
+// caller's ctx cancels the fan-out either way.
+func fanOut(ctx context.Context, par, n int, cancelOnErr bool, labels func(i int) []string, work func(ctx context.Context, i int) error) []error {
+	errs := make([]error, n)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	prog := newProgressTracker(opts.Progress, len(keys), par)
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
-	for i, k := range keys {
+	for i := 0; i < n; i++ {
 		wg.Add(1)
-		go func(i int, k runKey) {
+		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			// Label the point's goroutine for pprof attribution; the labels
-			// are inherited by everything it spawns, including the parallel
-			// kernel's shard workers.
-			pprof.Do(ctx, pprof.Labels(
-				"figure", opts.figureLabel(),
-				"benchmark", k.bench,
-				"config", k.system+"/"+k.core.String(),
-			), func(ctx context.Context) {
-				runPoint(ctx, cancel, opts, prog, k, &results[i], &errs[i])
+			pprof.Do(ctx, pprof.Labels(labels(i)...), func(ctx context.Context) {
+				errs[i] = fault.Capture("", func() error { return work(ctx, i) })
 			})
-		}(i, k)
+			if errs[i] != nil && cancelOnErr {
+				cancel()
+			}
+		}(i)
 	}
 	wg.Wait()
+	return errs
+}
+
+// runAll executes the given runs in parallel and returns results in input
+// order. By default the sweep is fail-fast: the first simulation error (or a
+// cancel of ctx) cancels every other simulation — queued runs never start,
+// and in-flight ones abort at their next event-loop cancellation check — so
+// a failing sweep returns promptly instead of burning the rest of the
+// fan-out to completion. Under opts.KeepGoing the fan-out instead runs to
+// completion with failures recorded in opts.Failures (see keepGoingError).
+// With opts.Cache set, each point is served from the result cache by
+// canonical key (concurrent identical points share one simulation).
+func runAll(ctx context.Context, opts Options, keys []runKey) ([]system.Results, error) {
+	par := opts.parallelism()
+	results := make([]system.Results, len(keys))
+	prog := newProgressTracker(opts.Progress, len(keys), par)
+	errs := fanOut(ctx, par, len(keys), !opts.KeepGoing, func(i int) []string {
+		return []string{
+			"figure", opts.figureLabel(),
+			"benchmark", keys[i].bench,
+			"config", keys[i].system + "/" + keys[i].core.String(),
+		}
+	}, func(ctx context.Context, i int) error {
+		return runPoint(ctx, opts, prog, keys[i], &results[i])
+	})
+	if opts.KeepGoing {
+		return results, keepGoingError(ctx, opts, keys, errs)
+	}
 	return results, sweepError(keys, errs)
 }
 
 // runPoint simulates (or fetches) one point of a sweep.
-func runPoint(ctx context.Context, cancel context.CancelFunc, opts Options, prog *progressTracker, k runKey, result *system.Results, errp *error) {
-	defer func() {
-		if *errp != nil {
-			cancel()
-		}
-	}()
+func runPoint(ctx context.Context, opts Options, prog *progressTracker, k runKey, result *system.Results) error {
 	if err := ctx.Err(); err != nil {
-		*errp = err
-		return
+		return err
 	}
 	cfg, err := config.ForSystem(k.system, k.core)
 	if err != nil {
-		*errp = err
-		return
+		return err
 	}
 	cfg.Sanitize = opts.Sanitize
 	cfg.Sample = opts.Sample
@@ -309,33 +355,53 @@ func runPoint(ctx context.Context, cancel context.CancelFunc, opts Options, prog
 		k.mutate(&cfg)
 	}
 	var key string
-	if opts.Cache != nil || prog != nil {
+	if opts.Cache != nil || prog != nil || opts.KeepGoing ||
+		opts.StallTimeout > 0 || opts.PointTimeout > 0 {
 		key = system.CacheKey(cfg, k.bench, opts.scale())
 	}
 	computed := false
+	// The guarded compute closure: panics (simulator bugs, sanitizer
+	// violations) become structured PointErrors here, inside the cache
+	// boundary, so a result cache can quarantine the deterministic ones and
+	// singleflight followers inherit the same typed failure.
 	run := func() (system.Results, error) {
 		computed = true
-		if cfg.Sample.Enabled() {
-			est, err := sample.RunEstimate(ctx, cfg, k.bench, opts.scale())
-			if err != nil {
-				return system.Results{}, err
+		var res system.Results
+		err := fault.Guard(ctx, key, opts.StallTimeout, opts.PointTimeout, func(ctx context.Context) error {
+			if hook := testFaultHook; hook != nil {
+				hook(k.bench, k.system, k.core)
 			}
-			opts.Estimates.record(k, est)
-			return est.Results, nil
+			if cfg.Sample.Enabled() {
+				est, err := sample.RunEstimate(ctx, cfg, k.bench, opts.scale())
+				if err != nil {
+					return err
+				}
+				opts.Estimates.record(k, est)
+				res = est.Results
+				return nil
+			}
+			var rerr error
+			res, rerr = system.RunBenchmark(ctx, cfg, k.bench, opts.scale())
+			return rerr
+		})
+		if err != nil {
+			return system.Results{}, err
 		}
-		return system.RunBenchmark(ctx, cfg, k.bench, opts.scale())
+		return res, nil
 	}
 	prog.start(key)
 	begin := time.Now()
+	var perr error
 	switch cache := opts.Cache.(type) {
 	case nil:
-		*result, *errp = run()
+		*result, perr = run()
 	case PointCache:
-		*result, *errp = cache.DoPoint(ctx, key, cfg, k.bench, opts.scale(), run)
+		*result, perr = cache.DoPoint(ctx, key, cfg, k.bench, opts.scale(), run)
 	default:
-		*result, *errp = cache.Do(ctx, key, run)
+		*result, perr = cache.Do(ctx, key, run)
 	}
-	prog.finish(key, *errp, *errp == nil && !computed, time.Since(begin))
+	prog.finish(key, perr, perr == nil && !computed, time.Since(begin))
+	return perr
 }
 
 // sweepError reduces per-run errors to the one worth reporting: the first
@@ -357,6 +423,27 @@ func sweepError(keys []runKey, errs []error) error {
 		return fmt.Errorf("%s/%s/%v: %w", keys[i].bench, keys[i].system, keys[i].core, err)
 	}
 	return ctxErr
+}
+
+// keepGoingError reduces per-run errors for a keep-going sweep: every
+// failure is recorded into opts.Failures (classified through the fault
+// taxonomy) and the sweep still succeeds — failed points simply carry zero
+// Results — unless the caller's own context was cancelled or every point
+// failed, in which case there is nothing partial worth returning and the
+// representative error surfaces as usual.
+func keepGoingError(ctx context.Context, opts Options, keys []runKey, errs []error) error {
+	failed := 0
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		failed++
+		opts.Failures.record(keys[i], err)
+	}
+	if ctx.Err() != nil || (failed > 0 && failed == len(keys)) {
+		return sweepError(keys, errs)
+	}
+	return nil
 }
 
 func geomean(vs []float64) float64 {

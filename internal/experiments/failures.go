@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"streamfloat/internal/fault"
+)
+
+// PointFailure is one failed sweep point, as marked in tables, CSV/JSON
+// output, and keep-going footnotes.
+type PointFailure struct {
+	Bench  string `json:"bench"`
+	System string `json:"system"`
+	Core   string `json:"core"`
+	// Variant distinguishes mutated points (Fig15's prefetcher variants,
+	// Fig16's link sweeps, ...) that share bench/system/core.
+	Variant string `json:"variant,omitempty"`
+	// Key is the point's canonical cache key, when known.
+	Key string `json:"key,omitempty"`
+	// Kind classifies the failure (see fault.Kind).
+	Kind fault.Kind `json:"kind"`
+	Msg  string     `json:"msg"`
+	// Stuck marks a stall-watchdog kill; Quarantined marks a failure replayed
+	// from a quarantine negative entry rather than re-executed.
+	Stuck       bool `json:"stuck,omitempty"`
+	Quarantined bool `json:"quarantined,omitempty"`
+}
+
+// note renders the table footnote for one failed point.
+func (f PointFailure) note() string {
+	label := fmt.Sprintf("%s/%s/%s", f.Bench, f.System, f.Core)
+	if f.Variant != "" {
+		label += "(" + f.Variant + ")"
+	}
+	suffix := ""
+	if f.Quarantined {
+		suffix = " [quarantined]"
+	}
+	if f.Stuck {
+		suffix += " [stuck]"
+	}
+	return fmt.Sprintf("FAILED %s: %s%s: %s", label, f.Kind, suffix, f.Msg)
+}
+
+// FailureLog collects the failed points of a keep-going sweep. Safe for
+// concurrent use; the zero value is ready. A nil log discards records, so
+// the sweep path never branches on it.
+type FailureLog struct {
+	mu  sync.Mutex
+	pts []PointFailure
+}
+
+// record classifies and appends one point failure.
+func (l *FailureLog) record(k runKey, err error) {
+	if l == nil || err == nil {
+		return
+	}
+	pe := fault.Classify("", err)
+	var variant string
+	if k.mutate != nil {
+		variant = "mutated"
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pts = append(l.pts, PointFailure{
+		Bench:       k.bench,
+		System:      k.system,
+		Core:        k.core.String(),
+		Variant:     variant,
+		Key:         pe.Key,
+		Kind:        pe.Kind,
+		Msg:         pe.Msg,
+		Stuck:       pe.Stuck,
+		Quarantined: pe.Quarantined,
+	})
+}
+
+// Points returns the recorded failures sorted by (bench, system, core,
+// variant) so the order is independent of sweep parallelism.
+func (l *FailureLog) Points() []PointFailure {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	pts := append([]PointFailure(nil), l.pts...)
+	l.mu.Unlock()
+	sort.Slice(pts, func(i, j int) bool {
+		a, b := pts[i], pts[j]
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		if a.System != b.System {
+			return a.System < b.System
+		}
+		if a.Core != b.Core {
+			return a.Core < b.Core
+		}
+		return a.Variant < b.Variant
+	})
+	return pts
+}
+
+// take snapshots the sorted failures and resets the log, so one Options
+// value reused across figures attributes each sweep's failures to its own
+// table (mirroring EstimateLog.take).
+func (l *FailureLog) take() []PointFailure {
+	if l == nil {
+		return nil
+	}
+	pts := l.Points()
+	l.mu.Lock()
+	l.pts = nil
+	l.mu.Unlock()
+	return pts
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"streamfloat/internal/config"
+	"streamfloat/internal/fault"
+	"streamfloat/internal/system"
+)
+
+// setFaultHook installs a test-only fault hook for the duration of the test.
+func setFaultHook(t *testing.T, hook func(bench, sys string, core config.CoreKind)) {
+	t.Helper()
+	testFaultHook = hook
+	t.Cleanup(func() { testFaultHook = nil })
+}
+
+// TestKeepGoingInjectedPanic is the partial-results contract: a sweep where
+// one point panics completes under KeepGoing with that point marked failed
+// and every other point bit-identical to a clean run.
+func TestKeepGoingInjectedPanic(t *testing.T) {
+	keys := []runKey{
+		{bench: "nn", system: "Base", core: config.OOO8},
+		{bench: "nn", system: "SF", core: config.OOO8},
+		{bench: "conv3d", system: "SF", core: config.OOO8},
+	}
+	opts := Options{Scale: 0.05}
+	clean, err := runAll(context.Background(), opts, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	setFaultHook(t, func(bench, sys string, core config.CoreKind) {
+		if bench == "nn" && sys == "SF" {
+			panic("injected point fault")
+		}
+	})
+	opts.KeepGoing = true
+	opts.Failures = &FailureLog{}
+	got, err := runAll(context.Background(), opts, keys)
+	if err != nil {
+		t.Fatalf("keep-going sweep must complete: %v", err)
+	}
+
+	pts := opts.Failures.Points()
+	if len(pts) != 1 {
+		t.Fatalf("failures = %+v, want exactly the injected one", pts)
+	}
+	f := pts[0]
+	if f.Bench != "nn" || f.System != "SF" || f.Kind != fault.KindPanic {
+		t.Errorf("failure = %+v, want nn/SF panic", f)
+	}
+	if !strings.Contains(f.Msg, "injected point fault") {
+		t.Errorf("failure msg %q lost the panic value", f.Msg)
+	}
+	for i, k := range keys {
+		if k.bench == "nn" && k.system == "SF" {
+			if !reflect.DeepEqual(got[i], system.Results{}) {
+				t.Error("failed point must report zero results")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got[i], clean[i]) {
+			t.Errorf("%s/%s: keep-going result diverged from clean run", k.bench, k.system)
+		}
+	}
+}
+
+// TestKeepGoingAllFailed: when every point fails, keep-going still returns
+// an error — an all-failure sweep has no partial results worth rendering.
+func TestKeepGoingAllFailed(t *testing.T) {
+	setFaultHook(t, func(string, string, config.CoreKind) {
+		panic("injected point fault")
+	})
+	opts := Options{Scale: 0.05, KeepGoing: true, Failures: &FailureLog{}}
+	_, err := runAll(context.Background(), opts, []runKey{
+		{bench: "nn", system: "SF", core: config.OOO8},
+	})
+	if err == nil {
+		t.Fatal("all-failed sweep must error")
+	}
+	pe, ok := fault.As(err)
+	if !ok || pe.Kind != fault.KindPanic {
+		t.Fatalf("err = %v, want a typed panic PointError", err)
+	}
+}
+
+// TestKeepGoingPointTimeout: a point overrunning Options.PointTimeout is
+// killed by the watchdog and classified as a timeout, not a panic.
+func TestKeepGoingPointTimeout(t *testing.T) {
+	setFaultHook(t, func(string, string, config.CoreKind) {
+		time.Sleep(300 * time.Millisecond)
+	})
+	opts := Options{Scale: 0.05, KeepGoing: true, PointTimeout: 30 * time.Millisecond, Failures: &FailureLog{}}
+	_, err := runAll(context.Background(), opts, []runKey{
+		{bench: "nn", system: "SF", core: config.OOO8},
+	})
+	pe, ok := fault.As(err)
+	if !ok {
+		t.Fatalf("err = %v, want a typed PointError", err)
+	}
+	if pe.Kind != fault.KindTimeout {
+		t.Errorf("kind = %v, want timeout", pe.Kind)
+	}
+	if pe.Deterministic() {
+		t.Error("a timeout must not be deterministic (it must stay retryable)")
+	}
+}
+
+// TestRunFigureFailureFootnotes: under KeepGoing, runFigure provisions the
+// failure log and renders each failed point as a table footnote.
+func TestRunFigureFailureFootnotes(t *testing.T) {
+	setFaultHook(t, func(bench, sys string, core config.CoreKind) {
+		if bench == "conv3d" {
+			panic("injected point fault")
+		}
+	})
+	keys := []runKey{
+		{bench: "nn", system: "SF", core: config.OOO8},
+		{bench: "conv3d", system: "SF", core: config.OOO8},
+	}
+	opts := Options{Scale: 0.05, KeepGoing: true}
+	tb, err := runFigure("faulty", func(o Options) (*Table, error) {
+		if _, err := runAll(o.context(), o, keys); err != nil {
+			return nil, err
+		}
+		return &Table{Title: "faulty"}, nil
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Failures) != 1 {
+		t.Fatalf("table failures = %+v", tb.Failures)
+	}
+	found := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "FAILED conv3d/SF") && strings.Contains(n, "panic") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no FAILED footnote in notes: %q", tb.Notes)
+	}
+}

@@ -2,11 +2,9 @@ package experiments
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sync"
 
 	"streamfloat/internal/config"
 	"streamfloat/internal/system"
@@ -33,45 +31,40 @@ func TracedRun(opts Options, systemName string, core config.CoreKind, bench stri
 func LatencyBreakdown(opts Options) (*Table, error) {
 	systems := []string{"Base", "SF"}
 	benches := opts.benchmarks()
-	attrs := make([]trace.TileAttribution, len(systems)*len(benches))
-	errs := make([]error, len(attrs))
-	ctx, cancel := context.WithCancel(opts.context())
-	defer cancel()
-	sem := make(chan struct{}, opts.parallelism())
-	var wg sync.WaitGroup
+	keys := make([]runKey, len(systems)*len(benches))
 	for si, sys := range systems {
 		for bi, b := range benches {
-			wg.Add(1)
-			go func(i int, sys, b string) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-					return
-				}
-				_, tr, err := TracedRun(opts, sys, config.OOO8, b)
-				if err != nil {
-					errs[i] = fmt.Errorf("%s/%s: %w", b, sys, err)
-					cancel()
-					return
-				}
-				attrs[i] = tr.Attribution()
-			}(si*len(benches)+bi, sys, b)
+			keys[si*len(benches)+bi] = runKey{bench: b, system: sys, core: config.OOO8}
 		}
 	}
-	wg.Wait()
-	var firstErr error
-	for _, err := range errs {
-		if err == nil {
-			continue
+	attrs := make([]trace.TileAttribution, len(keys))
+	// Route the fan-out through the same guarded worker path as runAll, so
+	// traced runs inherit panic containment, pprof labels, and keep-going
+	// semantics instead of duplicating the goroutine loop.
+	errs := fanOut(opts.context(), opts.parallelism(), len(keys), !opts.KeepGoing, func(i int) []string {
+		return []string{
+			"figure", opts.figureLabel(),
+			"benchmark", keys[i].bench,
+			"config", keys[i].system + "/" + keys[i].core.String(),
 		}
-		if firstErr == nil || errors.Is(firstErr, context.Canceled) {
-			firstErr = err
+	}, func(ctx context.Context, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
+		k := keys[i]
+		_, tr, err := TracedRun(opts, k.system, k.core, k.bench)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", k.bench, k.system, err)
+		}
+		attrs[i] = tr.Attribution()
+		return nil
+	})
+	if opts.KeepGoing {
+		if err := keepGoingError(opts.context(), opts, keys, errs); err != nil {
+			return nil, err
+		}
+	} else if err := sweepError(keys, errs); err != nil {
+		return nil, err
 	}
 
 	t := &Table{

@@ -139,6 +139,9 @@ func runFigure(name string, fn func(Options) (*Table, error), opts Options) (*Ta
 	if sampled && opts.Estimates == nil {
 		opts.Estimates = &EstimateLog{}
 	}
+	if opts.KeepGoing && opts.Failures == nil {
+		opts.Failures = &FailureLog{}
+	}
 	t, err := fn(opts)
 	if err != nil || t == nil {
 		return t, err
@@ -147,6 +150,14 @@ func runFigure(name string, fn func(Options) (*Table, error), opts Options) (*Ta
 		if pts := opts.Estimates.take(); len(pts) > 0 {
 			t.Sampling = newSamplingSummary(opts.Sample, pts)
 			t.Notes = append(t.Notes, t.Sampling.note())
+		}
+	}
+	if opts.KeepGoing {
+		if pts := opts.Failures.take(); len(pts) > 0 {
+			t.Failures = pts
+			for _, f := range pts {
+				t.Notes = append(t.Notes, f.note())
+			}
 		}
 	}
 	if n := opts.derateNote(); n != "" {

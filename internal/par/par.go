@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"streamfloat/internal/event"
+	"streamfloat/internal/fault"
 	"streamfloat/internal/stats"
 )
 
@@ -143,6 +144,32 @@ type Group struct {
 	epoch   atomic.Uint64
 	horizon atomic.Uint64
 	done    atomic.Uint64
+
+	// Worker-panic containment: a helper panic is recorded here instead of
+	// unwinding its goroutine (which would kill the process and leave the
+	// leader spinning on done forever). The leader observes failed after
+	// each quantum's barrier and surfaces failErr from Run.
+	failed  atomic.Bool
+	failMu  sync.Mutex
+	failErr error
+}
+
+// fail records the first worker panic (converted to a structured error).
+func (g *Group) fail(v any) {
+	pe := fault.FromPanic("", v)
+	g.failMu.Lock()
+	if g.failErr == nil {
+		g.failErr = pe
+	}
+	g.failMu.Unlock()
+	g.failed.Store(true)
+}
+
+// takeFailure returns the recorded worker failure, if any.
+func (g *Group) takeFailure() error {
+	g.failMu.Lock()
+	defer g.failMu.Unlock()
+	return g.failErr
 }
 
 // workers resolves the worker count.
@@ -224,12 +251,32 @@ func (g *Group) runShards(id, workers int, horizon event.Cycle) {
 	}
 }
 
+// runShardsGuarded is runShards with panic containment for helper workers:
+// a panic inside a shard's window (simulator bug, sanitizer violation) is
+// recorded as the group failure instead of unwinding the helper goroutine.
+// The helper then still participates in the barrier protocol — done must be
+// incremented exactly once per window per helper or the leader's spin never
+// completes — and exits cleanly at the next epoch via the shutdown sentinel
+// the leader stores once it observes the failure.
+func (g *Group) runShardsGuarded(id, workers int, horizon event.Cycle) {
+	defer func() {
+		if v := recover(); v != nil {
+			g.fail(v)
+		}
+	}()
+	g.runShards(id, workers, horizon)
+}
+
 // Run executes quanta until every engine drains, the next event would cross
 // maxCycles (0 = no horizon), or stop (polled once per quantum; nil = never)
-// reports true. It returns whether the run was stopped early. On a horizon
-// break every engine is advanced to maxCycles, mirroring the sequential
-// engine's behavior.
-func (g *Group) Run(maxCycles event.Cycle, stop func() bool) (stopped bool) {
+// reports true. It returns whether the run was stopped early, and a non-nil
+// error when a shard worker panicked mid-window: the panic is converted to
+// a *fault.PointError (reachable via errors.As), the remaining helpers shut
+// down cleanly at the barrier, and the machine's state is abandoned
+// mid-quantum (the engines are not advanced or drained further). On a
+// horizon break every engine is advanced to maxCycles, mirroring the
+// sequential engine's behavior.
+func (g *Group) Run(maxCycles event.Cycle, stop func() bool) (stopped bool, err error) {
 	if g.Quantum == 0 {
 		g.Quantum = 1
 	}
@@ -251,7 +298,7 @@ func (g *Group) Run(maxCycles event.Cycle, stop func() bool) (stopped bool) {
 						if h == 0 { // shutdown sentinel
 							return
 						}
-						g.runShards(id, workers, h)
+						g.runShardsGuarded(id, workers, h)
 						g.done.Add(1)
 					}
 				})
@@ -267,25 +314,35 @@ func (g *Group) Run(maxCycles event.Cycle, stop func() bool) (stopped bool) {
 	helperDone := g.done.Load()
 	for {
 		if stop != nil && stop() {
-			return true
+			return true, nil
 		}
 		w, ok := g.next()
 		if !ok {
-			return false
+			return false, nil
 		}
 		if maxCycles != 0 && w > maxCycles {
 			for _, s := range g.Shards {
 				s.Eng.AdvanceTo(maxCycles)
 			}
-			return false
+			return false, nil
 		}
 		horizon := w + g.Quantum
 		if workers > 1 {
 			g.horizon.Store(uint64(horizon))
 			g.epoch.Add(1)
+			// The leader's own window is unguarded on purpose: a leader panic
+			// unwinds through the deferred shutdown sentinel (helpers finish
+			// their window, see horizon 0, exit; wg.Wait returns) and is
+			// contained one level up, at the sweep's point-worker boundary.
 			g.runShards(0, workers, horizon)
 			helperDone += uint64(workers - 1)
 			spin(g.done.Load, helperDone)
+			if g.failed.Load() {
+				// A helper panicked mid-window: its shard's state is torn, so
+				// skip the advance/drain and surface the failure at the
+				// barrier instead of simulating on corrupted state.
+				return false, g.takeFailure()
+			}
 		} else {
 			g.runShards(0, 1, horizon)
 		}

@@ -2,9 +2,13 @@ package par
 
 import (
 	"reflect"
+	"runtime"
+	"strings"
 	"testing"
 
 	"streamfloat/internal/event"
+	"streamfloat/internal/fault"
+	"streamfloat/internal/sanitize"
 	"streamfloat/internal/stats"
 )
 
@@ -138,7 +142,11 @@ func TestGroupRunWindows(t *testing.T) {
 		schedRecorder(a, 100, &la)
 		schedRecorder(b, 3, &lb)
 		schedRecorder(b, 11, &lb)
-		if stopped := g.Run(0, nil); stopped {
+		stopped, err := g.Run(0, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: run failed: %v", workers, err)
+		}
+		if stopped {
 			t.Fatalf("workers=%d: run reported stopped", workers)
 		}
 		if !reflect.DeepEqual(la, []event.Cycle{0, 10, 100}) || !reflect.DeepEqual(lb, []event.Cycle{3, 11}) {
@@ -191,7 +199,11 @@ func TestGroupRunMaxCycles(t *testing.T) {
 	var fired []event.Cycle
 	schedRecorder(a, 5, &fired)
 	schedRecorder(b, 1000, &fired)
-	if stopped := g.Run(50, nil); stopped {
+	stopped, err := g.Run(50, nil)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if stopped {
 		t.Fatal("horizon break is not a stop")
 	}
 	if !reflect.DeepEqual(fired, []event.Cycle{5}) {
@@ -217,11 +229,109 @@ func TestGroupRunStop(t *testing.T) {
 	})
 	calls := 0
 	stop := func() bool { calls++; return calls > 1 } // allow one quantum
-	if stopped := g.Run(0, stop); !stopped {
+	stopped, err := g.Run(0, stop)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !stopped {
 		t.Fatal("stop not honored")
 	}
 	if fires != 1 {
 		t.Errorf("fired %d events before stop, want 1", fires)
+	}
+}
+
+// TestGroupRunHelperPanic: a panic on a helper worker's shard must not kill
+// the process or deadlock the barrier — it surfaces as a structured error
+// from Run, with every helper goroutine shut down cleanly (a second Run on a
+// fresh group still works, and the race detector sees the joins).
+func TestGroupRunHelperPanic(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("helper workers need GOMAXPROCS >= 2")
+	}
+	shards := make([]*Shard, 4)
+	for i := range shards {
+		shards[i] = NewShard(event.New(), &stats.Stats{})
+	}
+	g := &Group{Shards: shards, Quantum: 6, Workers: 4}
+	// Keep every shard busy so all workers participate in the window; the
+	// panic fires on shard 1, which the round-robin partition hands to a
+	// helper (never the leader) for every worker count >= 2.
+	for i, sh := range shards {
+		i := i
+		sh.Eng.At(1, func(event.Cycle) {
+			if i == 1 {
+				panic("injected shard fault")
+			}
+		})
+	}
+	stopped, err := g.Run(0, nil)
+	if stopped {
+		t.Fatal("panic reported as a stop")
+	}
+	if err == nil {
+		t.Fatal("helper panic did not surface as an error")
+	}
+	pe, ok := fault.As(err)
+	if !ok {
+		t.Fatalf("error %v does not unwrap to a *fault.PointError", err)
+	}
+	if pe.Kind != fault.KindPanic {
+		t.Errorf("kind = %s, want panic", pe.Kind)
+	}
+	if !strings.Contains(pe.Msg, "injected shard fault") {
+		t.Errorf("msg = %q, want the panic value", pe.Msg)
+	}
+	if pe.Stack == "" {
+		t.Error("no stack captured")
+	}
+
+	// The group is single-use after a failure, but the barrier protocol must
+	// have fully unwound: a fresh group over fresh shards runs fine.
+	shards2 := make([]*Shard, 4)
+	for i := range shards2 {
+		shards2[i] = NewShard(event.New(), &stats.Stats{})
+	}
+	g2 := &Group{Shards: shards2, Quantum: 6, Workers: 4}
+	var fired []event.Cycle
+	schedRecorder(shards2[1], 3, &fired)
+	if _, err := g2.Run(0, nil); err != nil {
+		t.Fatalf("clean run after failed run: %v", err)
+	}
+	if len(fired) != 1 {
+		t.Errorf("clean run fired %d events, want 1", len(fired))
+	}
+}
+
+// TestGroupRunViolationPanic: a sanitize.Violation panic on a helper keeps
+// its classification through the barrier.
+func TestGroupRunViolationPanic(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("helper workers need GOMAXPROCS >= 2")
+	}
+	shards := make([]*Shard, 2)
+	for i := range shards {
+		shards[i] = NewShard(event.New(), &stats.Stats{})
+	}
+	g := &Group{Shards: shards, Quantum: 6, Workers: 2}
+	for i, sh := range shards {
+		i := i
+		sh.Eng.At(1, func(event.Cycle) {
+			if i == 1 {
+				panic(&sanitize.Violation{Msg: "directory state mismatch"})
+			}
+		})
+	}
+	_, err := g.Run(0, nil)
+	pe, ok := fault.As(err)
+	if !ok {
+		t.Fatalf("error %v is not a PointError", err)
+	}
+	if pe.Kind != fault.KindViolation {
+		t.Errorf("kind = %s, want violation", pe.Kind)
+	}
+	if !pe.Deterministic() {
+		t.Error("violation not classified deterministic")
 	}
 }
 

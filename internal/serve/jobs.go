@@ -13,6 +13,7 @@ import (
 
 	"streamfloat/internal/config"
 	"streamfloat/internal/experiments"
+	"streamfloat/internal/fault"
 	"streamfloat/internal/sanitize"
 	"streamfloat/internal/system"
 	"streamfloat/internal/workload"
@@ -49,6 +50,12 @@ type JobSpec struct {
 	// TimeoutMS caps the whole job's wall-clock time; 0 inherits the server
 	// default (which exists to bound runaway jobs, not to race small ones).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// KeepGoing completes the sweep with failed points marked instead of
+	// failing the job on the first point error: a figure job folds failures
+	// into the table's footnotes, a points job records per-point Error/Fault
+	// in its JobResponses. The job only fails when cancelled or when every
+	// point failed.
+	KeepGoing bool `json:"keep_going,omitempty"`
 }
 
 // FigureSpec names a figure sweep inside a JobSpec.
@@ -107,11 +114,16 @@ type JobProgress struct {
 
 // JobStatus is the GET /jobs/{id} reply.
 type JobStatus struct {
-	ID       string      `json:"id"`
-	State    JobState    `json:"state"`
-	Error    string      `json:"error,omitempty"`
-	Resumed  bool        `json:"resumed,omitempty"` // recovered from the journal after a restart
-	Progress JobProgress `json:"progress"`
+	ID      string   `json:"id"`
+	State   JobState `json:"state"`
+	Error   string   `json:"error,omitempty"`
+	Resumed bool     `json:"resumed,omitempty"` // recovered from the journal after a restart
+	// Fault is the structured classification of a failed job's error, when
+	// it failed on a point fault. A deterministic kind (panic, violation)
+	// tells clients the failure is a property of the job's points — retrying
+	// or failing over to another backend will fail identically.
+	Fault    *fault.PointError `json:"fault,omitempty"`
+	Progress JobProgress       `json:"progress"`
 }
 
 // JobResult is the GET /jobs/{id}/result reply: the figure table or the
@@ -140,6 +152,7 @@ type job struct {
 	mu        sync.Mutex
 	state     JobState
 	errMsg    string
+	fault     *fault.PointError // structured classification of a point failure
 	progress  JobProgress
 	result    *JobResult
 	cancelled bool // DELETE requested (distinguishes cancel from crash/kill)
@@ -149,7 +162,7 @@ type job struct {
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobStatus{ID: j.id, State: j.state, Error: j.errMsg, Resumed: j.resumed, Progress: j.progress}
+	return JobStatus{ID: j.id, State: j.state, Error: j.errMsg, Fault: j.fault, Resumed: j.resumed, Progress: j.progress}
 }
 
 // newJobID mints a random journal-safe job id.
@@ -242,6 +255,12 @@ func (s *Server) resumeJournal() {
 		return
 	}
 	for _, rec := range recs {
+		// Seed the Store's quarantine from journaled poison records before
+		// the job reruns, so resumed sweeps replay the recorded failures
+		// instead of recomputing points guaranteed to fail again.
+		for key, pe := range rec.Poisoned {
+			s.cfg.Store.Quarantine(key, pe)
+		}
 		if rec.Resumable() {
 			s.submitJob(rec.Spec, &rec)
 		} else {
@@ -349,8 +368,43 @@ func (s *Server) finishJob(j *job, res JobResult, err error) {
 		s.setJobState(j, JobCancelled, "")
 	default:
 		s.failed.Add(1)
+		if pe, ok := fault.As(err); ok {
+			j.mu.Lock()
+			j.fault = pe.Served()
+			j.mu.Unlock()
+		}
 		s.setJobState(j, JobFailed, err.Error())
 	}
+}
+
+// notePointFault updates the fault counters for one failed point: stall-
+// watchdog kills, and fresh deterministic failures (panics/violations
+// contained into typed errors; quarantine replays are not re-counted).
+func (s *Server) notePointFault(err error) {
+	pe, ok := fault.As(err)
+	if !ok {
+		return
+	}
+	if pe.Stuck {
+		s.watchdogKills.Add(1)
+	}
+	if pe.Deterministic() && !pe.Quarantined {
+		s.panics.Add(1)
+	}
+}
+
+// journalPoison records a deterministic point failure as a journal negative
+// entry, so a resumed job (and any later job over the same journal) skips
+// the key instead of recomputing a simulation that can only crash again.
+func (s *Server) journalPoison(id, key string, err error) {
+	if s.cfg.Journal == nil || key == "" {
+		return
+	}
+	pe, ok := fault.As(err)
+	if !ok || !pe.Deterministic() || pe.Quarantined {
+		return
+	}
+	s.journalTry(s.cfg.Journal.PointPoisoned(id, key, pe.Served()))
 }
 
 // runFigureJob regenerates the spec's figure through the shared cache,
@@ -362,11 +416,13 @@ func (s *Server) runFigureJob(ctx context.Context, j *job) (*experiments.Table, 
 		return nil, fmt.Errorf("unknown figure %q", fs.ID)
 	}
 	opts := experiments.Options{
-		Scale:      0.25,
-		Benchmarks: fs.Benchmarks,
-		Cache:      s.cfg.Store,
-		Sanitize:   sanitize.ModeOff,
-		Context:    ctx,
+		Scale:        0.25,
+		Benchmarks:   fs.Benchmarks,
+		Cache:        s.cfg.Store,
+		Sanitize:     sanitize.ModeOff,
+		Context:      ctx,
+		KeepGoing:    j.spec.KeepGoing,
+		StallTimeout: s.cfg.StallTimeout,
 	}
 	if fs.Scale > 0 {
 		opts.Scale = fs.Scale
@@ -388,12 +444,18 @@ func (s *Server) runFigureJob(ctx context.Context, j *job) (*experiments.Table, 
 		if ev.Done && ev.Err == nil {
 			s.journalPoint(j.id, ev.Key, ev.PointCached)
 		}
+		if ev.Done && ev.Err != nil {
+			s.notePointFault(ev.Err)
+			s.journalPoison(j.id, ev.Key, ev.Err)
+		}
 	}
 	return fn(opts)
 }
 
 // runPointsJob runs the spec's explicit points in order through the shared
-// cache, journaling each completion.
+// cache, journaling each completion. Under spec.KeepGoing a failed point is
+// marked in its JobResponse (Error/Fault, zero Results) and the sweep
+// continues; otherwise the first failure fails the job.
 func (s *Server) runPointsJob(ctx context.Context, j *job) ([]JobResponse, error) {
 	points := j.spec.Points
 	j.mu.Lock()
@@ -402,6 +464,7 @@ func (s *Server) runPointsJob(ctx context.Context, j *job) ([]JobResponse, error
 	out := make([]JobResponse, 0, len(points))
 	var wallSum time.Duration
 	wallN := 0
+	failures := 0
 	for i, pr := range points {
 		cfg, bench, scale, err := pr.resolve()
 		if err != nil {
@@ -415,14 +478,27 @@ func (s *Server) runPointsJob(ctx context.Context, j *job) ([]JobResponse, error
 		computed := false
 		res, err := s.cfg.Store.Do(ctx, key, func() (system.Results, error) {
 			computed = true
-			return s.cfg.Runner(ctx, cfg, bench, scale)
+			return s.runGuarded(ctx, key, cfg, bench, scale)
 		})
 		wall := time.Since(start)
 		if err != nil {
+			s.notePointFault(err)
+			s.journalPoison(j.id, key, err)
 			j.mu.Lock()
 			j.progress.Failed++
 			j.mu.Unlock()
-			return nil, fmt.Errorf("point %d (%s): %w", i, bench, err)
+			if !j.spec.KeepGoing || ctx.Err() != nil {
+				return nil, fmt.Errorf("point %d (%s): %w", i, bench, err)
+			}
+			failures++
+			pe := fault.Classify(key, err)
+			out = append(out, JobResponse{
+				Key:       key,
+				ElapsedMS: float64(wall.Microseconds()) / 1e3,
+				Error:     pe.Error(),
+				Fault:     pe.Served(),
+			})
+			continue
 		}
 		if computed {
 			wallSum += wall
@@ -445,6 +521,9 @@ func (s *Server) runPointsJob(ctx context.Context, j *job) ([]JobResponse, error
 			ElapsedMS: float64(wall.Microseconds()) / 1e3,
 			Results:   res,
 		})
+	}
+	if failures > 0 && failures == len(points) {
+		return nil, fmt.Errorf("all %d points failed: %w", failures, out[0].Fault)
 	}
 	return out, nil
 }

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"streamfloat/internal/fault"
 )
 
 // Journal is the crash-safe sweep journal: one append-only JSON-lines file
@@ -46,7 +48,7 @@ const journalSuffix = ".journal"
 // journalRecord is one JSON line of a job's journal file.
 type journalRecord struct {
 	V int    `json:"v"`
-	T string `json:"t"` // "job", "state", "point", "result"
+	T string `json:"t"` // "job", "state", "point", "poison", "result"
 
 	// T == "job": the job's identity and full spec (always the first line).
 	ID   string   `json:"id,omitempty"`
@@ -56,9 +58,14 @@ type journalRecord struct {
 	State JobState `json:"state,omitempty"`
 	Error string   `json:"error,omitempty"`
 
-	// T == "point": one completed point.
+	// T == "point": one completed point. T == "poison": one deterministically
+	// failed point (Key plus Fault).
 	Key    string `json:"key,omitempty"`
 	Cached bool   `json:"cached,omitempty"`
+
+	// T == "poison": the structured deterministic failure quarantined under
+	// Key.
+	Fault *fault.PointError `json:"fault,omitempty"`
 
 	// T == "result": the finished job's result payload.
 	Result *JobResult `json:"result,omitempty"`
@@ -136,6 +143,14 @@ func (j *Journal) PointDone(id, key string, cached bool) error {
 	return j.append(id, journalRecord{T: "point", Key: key, Cached: cached})
 }
 
+// PointPoisoned journals a deterministic point failure as a negative entry
+// under the point's canonical cache key: a resumed job (or any later sweep
+// over the same journal) skips the key instead of recomputing a simulation
+// guaranteed to fail the same way.
+func (j *Journal) PointPoisoned(id, key string, pe *fault.PointError) error {
+	return j.append(id, journalRecord{T: "poison", Key: key, Fault: pe})
+}
+
 // JobResult journals the finished job's result payload, so status queries
 // keep serving it after a restart.
 func (j *Journal) JobResult(id string, res JobResult) error {
@@ -164,6 +179,10 @@ type RecoveredJob struct {
 	// Points maps each journaled completed point's canonical cache key to
 	// whether it was served from the cache when first completed.
 	Points map[string]bool
+	// Poisoned maps each journaled deterministically-failed point's key to
+	// its recorded failure; resumption seeds the Store's quarantine from it
+	// so the points are skipped, not recomputed.
+	Poisoned map[string]*fault.PointError
 	// Result is the journaled final result, when the job finished.
 	Result *JobResult
 }
@@ -225,7 +244,7 @@ func (j *Journal) recoverOne(id string) (RecoveredJob, bool, error) {
 	if err != nil {
 		return RecoveredJob{}, false, err
 	}
-	job := RecoveredJob{ID: id, Points: map[string]bool{}}
+	job := RecoveredJob{ID: id, Points: map[string]bool{}, Poisoned: map[string]*fault.PointError{}}
 	seenJob := false
 	for _, line := range bytes.Split(data, []byte{'\n'}) {
 		line = bytes.TrimSpace(line)
@@ -253,6 +272,10 @@ func (j *Journal) recoverOne(id string) (RecoveredJob, bool, error) {
 		case "point":
 			if rec.Key != "" {
 				job.Points[rec.Key] = rec.Cached
+			}
+		case "poison":
+			if rec.Key != "" && rec.Fault != nil && rec.Fault.Kind.Deterministic() {
+				job.Poisoned[rec.Key] = rec.Fault
 			}
 		case "result":
 			job.Result = rec.Result

@@ -17,6 +17,7 @@ import (
 
 	"streamfloat/internal/config"
 	"streamfloat/internal/experiments"
+	"streamfloat/internal/fault"
 	"streamfloat/internal/sample"
 	"streamfloat/internal/sanitize"
 	"streamfloat/internal/system"
@@ -34,6 +35,11 @@ type Config struct {
 	QueueDepth int
 	// JobTimeout caps one job's wall-clock time (<= 0 picks 10 minutes).
 	JobTimeout time.Duration
+	// StallTimeout arms the per-point stall watchdog: a simulation whose
+	// event loop stops advancing simulated time for this long is cancelled
+	// and fails as a stuck timeout (see fault.Guard). 0 disables the
+	// watchdog; panic containment is always on.
+	StallTimeout time.Duration
 	// Runner executes one simulation. nil picks sample.Run, which dispatches
 	// on cfg.Sample — full detailed simulation when sampling is disabled,
 	// sampled estimation when a job carries sampling parameters. Tests
@@ -86,6 +92,8 @@ type Server struct {
 	asyncSubmitted atomic.Uint64
 	asyncResumed   atomic.Uint64
 	journalErrs    atomic.Uint64
+	panics         atomic.Uint64 // fresh deterministic point failures (panic/violation)
+	watchdogKills  atomic.Uint64 // points killed by the stall watchdog
 	draining       atomic.Bool
 
 	// origins counts job submissions (/run and /figure) per requesting
@@ -208,12 +216,19 @@ type JobRequest struct {
 	Workers int `json:"workers,omitempty"`
 }
 
-// JobResponse is the POST /run reply.
+// JobResponse is the POST /run reply (and one element of a points job's
+// result).
 type JobResponse struct {
 	Key       string         `json:"key"`        // canonical cache key of the point
 	Cached    bool           `json:"cached"`     // served without running a simulation
 	ElapsedMS float64        `json:"elapsed_ms"` // wall-clock job time
 	Results   system.Results `json:"results"`
+	// Error/Fault mark a point that failed under a keep-going job: Results
+	// is zero-valued, Error is the failure text, and Fault its structured
+	// classification. Absent on /run replies (a failed /run is an HTTP
+	// error, 422 for poisoned points).
+	Error string            `json:"error,omitempty"`
+	Fault *fault.PointError `json:"fault,omitempty"`
 }
 
 // job resolves a JobRequest into a runnable configuration.
@@ -352,11 +367,35 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	computed := false
 	res, err := s.cfg.Store.Do(ctx, key, func() (system.Results, error) {
 		computed = true
-		return s.cfg.Runner(ctx, cfg, bench, scale)
+		return s.runGuarded(ctx, key, cfg, bench, scale)
 	})
 	elapsed := time.Since(start)
 	if err != nil {
 		s.failed.Add(1)
+		if pe, ok := fault.As(err); ok {
+			if pe.Stuck {
+				s.watchdogKills.Add(1)
+			}
+			if pe.Deterministic() {
+				// Poisoned point: the failure is a property of the key, not of
+				// this execution. 422 tells clients not to retry or fail over;
+				// the Store has quarantined the key, so re-requests replay this
+				// same typed error without simulating.
+				if computed && !pe.Quarantined {
+					s.panics.Add(1)
+				}
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusUnprocessableEntity)
+				enc := json.NewEncoder(w)
+				enc.SetEscapeHTML(false)
+				enc.Encode(pe.Served())
+				return
+			}
+			if pe.Kind == fault.KindTimeout {
+				http.Error(w, err.Error(), http.StatusGatewayTimeout)
+				return
+			}
+		}
 		status := http.StatusInternalServerError
 		if isCtxErr(err) {
 			// 504 for our timeout; the client-disconnect case never reads it.
@@ -373,6 +412,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
 		Results:   res,
 	})
+}
+
+// runGuarded executes one simulation through the fault-isolation layer:
+// panics become structured PointErrors (keeping the serving process up), and
+// with Config.StallTimeout set, the stall watchdog kills points whose event
+// loop stops advancing simulated time. The typed error flows back through
+// Store.Do, which quarantines deterministic failures under the key.
+func (s *Server) runGuarded(ctx context.Context, key string, cfg config.Config, bench string, scale float64) (system.Results, error) {
+	var res system.Results
+	err := fault.Guard(ctx, key, s.cfg.StallTimeout, 0, func(ctx context.Context) error {
+		var rerr error
+		res, rerr = s.cfg.Runner(ctx, cfg, bench, scale)
+		return rerr
+	})
+	if err != nil {
+		return system.Results{}, err
+	}
+	return res, nil
 }
 
 // handleFigure regenerates one figure table through the shared result cache:
@@ -519,13 +576,32 @@ func sampleQuery(q url.Values) (config.SampleParams, error) {
 	return sp, nil
 }
 
+// Health is the GET /healthz payload. Status "degraded" means the process
+// is serving but has contained faults: panics converted to typed errors,
+// watchdog kills, or quarantined points. Load balancers key on the HTTP
+// status (200 serving, 503 draining); the payload is for operators.
+type Health struct {
+	Status            string `json:"status"` // ok | degraded
+	Panics            uint64 `json:"panics,omitempty"`
+	WatchdogKills     uint64 `json:"watchdog_kills,omitempty"`
+	PointsQuarantined int    `json:"points_quarantined,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	h := Health{
+		Status:            "ok",
+		Panics:            s.panics.Load(),
+		WatchdogKills:     s.watchdogKills.Load(),
+		PointsQuarantined: s.cfg.Store.Stats().Poisoned,
+	}
+	if h.Panics > 0 || h.WatchdogKills > 0 || h.PointsQuarantined > 0 {
+		h.Status = "degraded"
+	}
+	writeJSON(w, h)
 }
 
 // handleMetrics emits Prometheus text exposition (also human-greppable).
@@ -554,6 +630,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("sfserve_cache_dedups", cs.Dedups, "requests that shared another caller's simulation")
 	counter("sfserve_cache_disk_errors", cs.DiskErrs, "failed best-effort disk cache operations")
 	gauge("sfserve_cache_entries", int64(cs.Entries), "in-memory cache entries")
+	counter("sfserve_panics_total", s.panics.Load(), "simulator panics contained and converted to typed errors")
+	counter("sfserve_watchdog_kills_total", s.watchdogKills.Load(), "points killed by the stall watchdog")
+	gauge("sfserve_points_quarantined", int64(cs.Poisoned), "quarantine negative entries (deterministic point failures)")
+	counter("sfserve_cache_poison_hits", cs.PoisonHits, "failures replayed from quarantine entries instead of recomputing")
 	origins, counts := s.originCounts()
 	if len(origins) > 0 {
 		fmt.Fprintf(&b, "# HELP sfserve_requests_total job submissions by origin (%s header; \"direct\" when absent)\n", OriginHeader)

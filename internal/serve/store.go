@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"streamfloat/internal/fault"
 	"streamfloat/internal/system"
 )
 
@@ -43,12 +44,19 @@ type Store struct {
 	entries  map[string]*list.Element // key -> element holding *entry
 	lru      *list.List               // front = most recently used
 	inflight map[string]*call
+	// poisoned holds the quarantine negative entries: keys whose computation
+	// failed deterministically (panic, sanitizer violation). The simulation
+	// is a pure function of the key, so recomputing a poisoned key can only
+	// crash the same way — Do replays the recorded failure instead. Entries
+	// are rare (each is a simulator bug) and never evicted.
+	poisoned map[string]*fault.PointError
 
-	hits     atomic.Uint64 // served from memory
-	diskHits atomic.Uint64 // served from the on-disk store
-	misses   atomic.Uint64 // computed
-	dedups   atomic.Uint64 // waited on another caller's computation
-	diskErrs atomic.Uint64 // best-effort disk writes/reads that failed
+	hits       atomic.Uint64 // served from memory
+	diskHits   atomic.Uint64 // served from the on-disk store
+	misses     atomic.Uint64 // computed
+	dedups     atomic.Uint64 // waited on another caller's computation
+	diskErrs   atomic.Uint64 // best-effort disk writes/reads that failed
+	poisonHits atomic.Uint64 // failures replayed from quarantine entries
 }
 
 type entry struct {
@@ -82,6 +90,7 @@ func NewStore(maxEntries int, dir string) (*Store, error) {
 		entries:    map[string]*list.Element{},
 		lru:        list.New(),
 		inflight:   map[string]*call{},
+		poisoned:   map[string]*fault.PointError{},
 	}, nil
 }
 
@@ -121,6 +130,11 @@ func (s *Store) Do(ctx context.Context, key string, compute func() (system.Resul
 			s.hits.Add(1)
 			return res, nil
 		}
+		if pe, ok := s.poisoned[key]; ok {
+			s.mu.Unlock()
+			s.poisonHits.Add(1)
+			return system.Results{}, pe.Served()
+		}
 		if c, ok := s.inflight[key]; ok {
 			s.mu.Unlock()
 			s.dedups.Add(1)
@@ -144,11 +158,25 @@ func (s *Store) Do(ctx context.Context, key string, compute func() (system.Resul
 		if res, ok := s.diskGet(key); ok {
 			s.diskHits.Add(1)
 			c.res = res
+		} else if pe, ok := s.diskPoisonGet(key); ok {
+			// A previous process quarantined this key: replay its failure and
+			// promote the entry to memory so followers skip the disk read.
+			s.poisonHits.Add(1)
+			c.err = pe.Served()
+			s.mu.Lock()
+			s.poisoned[key] = pe
+			s.mu.Unlock()
 		} else {
 			c.res, c.err = compute()
 			if c.err == nil {
 				s.misses.Add(1)
 				s.diskPut(key, c.res)
+			} else if pe, ok := fault.As(c.err); ok && pe.Deterministic() && !pe.Quarantined {
+				// A fresh deterministic failure (panic, violation): record the
+				// negative entry so this key is never recomputed. The computing
+				// caller keeps the original error with its stack; later hits
+				// get the Served copy.
+				s.Quarantine(key, pe)
 			}
 		}
 		s.mu.Lock()
@@ -169,28 +197,76 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// Quarantine records a deterministic point failure as a negative cache
+// entry under key: subsequent Do calls for the key replay the failure (as a
+// Served copy, marked Quarantined) instead of recomputing a simulation that
+// can only crash the same way. With a disk layer, the entry persists as
+// <key>.poison.json and survives restarts.
+func (s *Store) Quarantine(key string, pe *fault.PointError) {
+	if pe == nil {
+		return
+	}
+	cp := *pe
+	if cp.Key == "" {
+		cp.Key = key
+	}
+	s.mu.Lock()
+	_, dup := s.poisoned[key]
+	if !dup {
+		s.poisoned[key] = &cp
+	}
+	s.mu.Unlock()
+	if !dup {
+		s.diskPoisonPut(key, &cp)
+	}
+}
+
+// Poisoned returns the quarantine entry for key, if any, checking memory
+// then disk (a disk hit is promoted to memory).
+func (s *Store) Poisoned(key string) (*fault.PointError, bool) {
+	s.mu.Lock()
+	pe, ok := s.poisoned[key]
+	s.mu.Unlock()
+	if ok {
+		return pe, true
+	}
+	pe, ok = s.diskPoisonGet(key)
+	if !ok {
+		return nil, false
+	}
+	s.mu.Lock()
+	s.poisoned[key] = pe
+	s.mu.Unlock()
+	return pe, true
+}
+
 // Stats reports the cache counters accumulated so far.
 type StoreStats struct {
-	Hits     uint64 `json:"hits"`      // served from memory
-	DiskHits uint64 `json:"disk_hits"` // served from the on-disk store
-	Misses   uint64 `json:"misses"`    // computed
-	Dedups   uint64 `json:"dedups"`    // shared another caller's computation
-	DiskErrs uint64 `json:"disk_errs"` // failed best-effort disk operations
-	Entries  int    `json:"entries"`   // current in-memory entry count
+	Hits       uint64 `json:"hits"`        // served from memory
+	DiskHits   uint64 `json:"disk_hits"`   // served from the on-disk store
+	Misses     uint64 `json:"misses"`      // computed
+	Dedups     uint64 `json:"dedups"`      // shared another caller's computation
+	DiskErrs   uint64 `json:"disk_errs"`   // failed best-effort disk operations
+	Entries    int    `json:"entries"`     // current in-memory entry count
+	Poisoned   int    `json:"poisoned"`    // quarantine negative entries in memory
+	PoisonHits uint64 `json:"poison_hits"` // failures replayed from quarantine
 }
 
 // Stats snapshots the counters.
 func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	n := s.lru.Len()
+	p := len(s.poisoned)
 	s.mu.Unlock()
 	return StoreStats{
-		Hits:     s.hits.Load(),
-		DiskHits: s.diskHits.Load(),
-		Misses:   s.misses.Load(),
-		Dedups:   s.dedups.Load(),
-		DiskErrs: s.diskErrs.Load(),
-		Entries:  n,
+		Hits:       s.hits.Load(),
+		DiskHits:   s.diskHits.Load(),
+		Misses:     s.misses.Load(),
+		Dedups:     s.dedups.Load(),
+		DiskErrs:   s.diskErrs.Load(),
+		Entries:    n,
+		Poisoned:   p,
+		PoisonHits: s.poisonHits.Load(),
 	}
 }
 
@@ -293,6 +369,76 @@ func (s *Store) diskGet(key string) (system.Results, bool) {
 		return system.Results{}, false
 	}
 	return ent.Results, true
+}
+
+// poisonEntry is the on-disk quarantine envelope (<key>.poison.json), with
+// the same key-echo corruption defense as diskEntry.
+type poisonEntry struct {
+	V     int               `json:"v"`
+	Key   string            `json:"key"`
+	Fault *fault.PointError `json:"fault"`
+}
+
+// poisonPath maps a key to its quarantine file, or "".
+func (s *Store) poisonPath(key string) string {
+	if s.dir == "" || !safeKey(key) {
+		return ""
+	}
+	return filepath.Join(s.dir, key+".poison.json")
+}
+
+// diskPoisonGet loads a quarantine entry from disk. Corrupt or wrong-key
+// files count as absent (and bump the disk-error counter).
+func (s *Store) diskPoisonGet(key string) (*fault.PointError, bool) {
+	path := s.poisonPath(key)
+	if path == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.diskErrs.Add(1)
+		}
+		return nil, false
+	}
+	var ent poisonEntry
+	if err := json.Unmarshal(data, &ent); err != nil ||
+		ent.V != diskEntryVersion || ent.Key != key ||
+		ent.Fault == nil || !ent.Fault.Kind.Deterministic() {
+		s.diskErrs.Add(1)
+		return nil, false
+	}
+	return ent.Fault, true
+}
+
+// diskPoisonPut persists a quarantine entry, best-effort, via temp + rename
+// like diskPut.
+func (s *Store) diskPoisonPut(key string, pe *fault.PointError) {
+	path := s.poisonPath(key)
+	if path == "" {
+		return
+	}
+	data, err := json.Marshal(poisonEntry{V: diskEntryVersion, Key: key, Fault: pe})
+	if err != nil {
+		s.diskErrs.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, key+".poison.tmp*")
+	if err != nil {
+		s.diskErrs.Add(1)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		s.diskErrs.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		s.diskErrs.Add(1)
+	}
 }
 
 // diskPut persists a result, best-effort: a full disk or unwritable

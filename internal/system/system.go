@@ -15,6 +15,7 @@ import (
 	"streamfloat/internal/cpu"
 	"streamfloat/internal/energy"
 	"streamfloat/internal/event"
+	"streamfloat/internal/fault"
 	"streamfloat/internal/mem"
 	"streamfloat/internal/noc"
 	"streamfloat/internal/par"
@@ -301,6 +302,16 @@ func (m *Machine) now() event.Cycle {
 	return n
 }
 
+// fired sums fired-event counts across every engine of the machine. Called
+// from the event loop's stop poll, when all engines are quiescent.
+func (m *Machine) fired() uint64 {
+	n := m.Eng.Fired()
+	for _, sh := range m.Shards {
+		n += sh.Eng.Fired()
+	}
+	return n
+}
+
 // pending sums outstanding events across every engine of the machine.
 func (m *Machine) pending() int {
 	n := m.Eng.Pending()
@@ -414,9 +425,18 @@ func (m *Machine) RunContext(ctx context.Context, maxCycles event.Cycle) (Result
 	} else {
 		runPhase(0)
 	}
+	// The watchdog's heartbeat (if a fault.Guard installed one on ctx) is
+	// published from the same stop closure the loop already polls every
+	// DefaultStopCheckEvents fired events (once per quantum on a partitioned
+	// machine), so progress reporting costs nothing extra on the hot path.
+	hb := fault.HeartbeatFrom(ctx)
 	var stop func() bool
-	if done := ctx.Done(); done != nil {
+	if done := ctx.Done(); done != nil || hb != nil {
 		stop = func() bool {
+			hb.Publish(m.fired(), uint64(m.now()))
+			if done == nil {
+				return false
+			}
 			select {
 			case <-done:
 				return true
@@ -436,7 +456,11 @@ func (m *Machine) RunContext(ctx context.Context, maxCycles event.Cycle) (Result
 			workers = 1
 		}
 		m.group.Workers = workers
-		if m.group.Run(maxCycles, stop) {
+		stopped, gerr := m.group.Run(maxCycles, stop)
+		if gerr != nil {
+			return Results{}, fmt.Errorf("system: %s: shard worker failure: %w", m.bench, gerr)
+		}
+		if stopped {
 			return Results{}, fmt.Errorf("system: %s cancelled at cycle %d: %w", m.bench, m.now(), ctx.Err())
 		}
 	case stop == nil:

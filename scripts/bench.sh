@@ -30,8 +30,19 @@ RAW="results/bench_${IDX}.txt"
 mkdir -p results
 
 echo "bench.sh: index ${IDX}, bench regex '${BENCH}', count ${COUNT}" >&2
-go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" -timeout 0 \
-    . ./internal/event/ | tee "$RAW"
+if ! go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" -timeout 0 \
+    . ./internal/event/ | tee "$RAW"; then
+    echo "bench.sh: FAILED: go test -bench exited nonzero (see ${RAW})" >&2
+    grep -n '^panic: \|^fatal error: ' "$RAW" >&2 || true
+    exit 1
+fi
+
+# A panic in a benchmark goroutine can surface after valid-looking summary
+# lines; never summarize a run that panicked anywhere.
+if grep -q '^panic: \|^fatal error: ' "$RAW"; then
+    echo "bench.sh: FAILED: a benchmark exited via panic (see ${RAW})" >&2
+    exit 1
+fi
 
 go run ./scripts/benchjson -raw "$RAW" -out "BENCH_${IDX}.json"
 echo "bench.sh: wrote ${RAW} and BENCH_${IDX}.json" >&2
